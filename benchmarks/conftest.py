@@ -1,0 +1,41 @@
+"""Benchmark-suite helpers: run once, print the figure, save an artifact.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one figure of the paper (see DESIGN.md §3),
+asserts the claim it reproduces, prints the series, and writes the table
+under ``benchmarks/out/`` so EXPERIMENTS.md can be refreshed.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def pytest_configure(config):
+    OUT_DIR.mkdir(exist_ok=True)
+
+
+@pytest.fixture
+def record_figure(capsys):
+    """Print a rendered figure and persist it to benchmarks/out/."""
+
+    def _record(name: str, text: str) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute an expensive experiment exactly once under timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,29 @@
+"""ABL1 — ablation: flow-allocation cadence and damping.
+
+Design choices probed (DESIGN.md §6):
+
+- running AH every short interval (Ts << Tl) versus only redistributing
+  at route updates (Ts = Tl, the paper's MP-TL-10-TS-10 curve) — the
+  paper notes even the latter "is much closer to OPT than SP";
+- the min-ratio AH step at full strength (the paper's Fig. 7) versus the
+  damped variant used for the headline figures.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import abl_allocation, render_flow_table
+
+
+def test_abl_allocation(benchmark, record_figure):
+    result = run_once(benchmark, abl_allocation)
+    record_figure(
+        "abl_allocation",
+        render_flow_table(result.figure, result.flow_series)
+        + f"\nclaim: {result.claim}\nmetrics: {result.metrics}",
+    )
+    fast = result.metrics["AH@Ts2+damp.5_avg_ms"]
+    slow = result.metrics["AH@Ts10(=Tl)_avg_ms"]
+    undamped = result.metrics["AH@Ts2+damp1_avg_ms"]
+    # Short-term adjustment should not hurt, and every variant must stay
+    # in the same near-optimal regime (no oscillatory blow-up).
+    assert fast <= slow * 1.05
+    assert max(fast, slow, undamped) < 3 * min(fast, slow, undamped)

@@ -1,0 +1,24 @@
+"""ABL2 — ablation: how many loop-free successors are worth having.
+
+The paper's framework allows *all* neighbors strictly closer to the
+destination.  This ablation restricts the set to the best 1 (= SP) or 2
+and compares against the unrestricted MP, quantifying the value of
+unequal-cost multipath beyond simple two-way splitting.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import abl_successors, render_flow_table
+
+
+def test_abl_successors(benchmark, record_figure):
+    result = run_once(benchmark, abl_successors)
+    record_figure(
+        "abl_successors",
+        render_flow_table(result.figure, result.flow_series)
+        + f"\nclaim: {result.claim}\nmetrics: {result.metrics}",
+    )
+    sp = result.metrics["limit1(SP)_avg_ms"]
+    two = result.metrics["limit2_avg_ms"]
+    mp = result.metrics["all(MP)_avg_ms"]
+    assert two < sp          # a second successor already helps a lot
+    assert mp <= two * 1.10  # full MP at least matches two-way splitting

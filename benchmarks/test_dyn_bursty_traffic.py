@@ -1,0 +1,23 @@
+"""DYN — the paper's dynamic-environment comparison: MP vs SP under
+bursty on/off traffic.
+
+Paper claim (abstract / Section 5): delays under MP "are significantly
+better than single-path routing in a dynamic environment", because the
+local AH adjustments absorb bursts that a single (stale) path cannot.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bench import dyn_bursty, render_flow_table
+
+
+@pytest.mark.parametrize("network", ["net1", "cairn"])
+def test_dyn_bursty(benchmark, record_figure, network):
+    result = run_once(benchmark, dyn_bursty, network)
+    record_figure(
+        f"dyn_{network}",
+        render_flow_table(result.figure, result.flow_series)
+        + f"\nclaim: {result.claim}\nmetrics: {result.metrics}",
+    )
+    assert result.metrics["sp_over_mp_avg"] > 1.5

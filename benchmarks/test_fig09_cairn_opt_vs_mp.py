@@ -1,0 +1,20 @@
+"""FIG09 — Fig. 9 of the paper: OPT vs MP per-flow delays on CAIRN.
+
+Paper claim: "the average delays of flows under MP routing are within
+the OPT-5 envelope" (OPT delays increased by 5%).
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import fig09_cairn_opt_vs_mp, render_flow_table
+
+
+def test_fig09(benchmark, record_figure):
+    result = run_once(benchmark, fig09_cairn_opt_vs_mp)
+    record_figure(
+        "fig09",
+        render_flow_table(result.figure, result.flow_series)
+        + f"\nclaim: {result.claim}\nmetrics: {result.metrics}",
+    )
+    # Shape checks: MP within a small envelope of OPT.
+    assert result.metrics["mp_over_opt_mean"] < 1.05
+    assert result.metrics["mp_over_opt_max"] < 1.10

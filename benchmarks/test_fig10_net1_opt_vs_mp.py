@@ -1,0 +1,19 @@
+"""FIG10 — Fig. 10 of the paper: OPT vs MP per-flow delays on NET1.
+
+Paper claim: "the delays obtained using MP routing for NET1 are within
+8% envelopes of delays obtained using OPT routing".
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import fig10_net1_opt_vs_mp, render_flow_table
+
+
+def test_fig10(benchmark, record_figure):
+    result = run_once(benchmark, fig10_net1_opt_vs_mp)
+    record_figure(
+        "fig10",
+        render_flow_table(result.figure, result.flow_series)
+        + f"\nclaim: {result.claim}\nmetrics: {result.metrics}",
+    )
+    assert result.metrics["mp_over_opt_mean"] < 1.08
+    assert result.metrics["mp_over_opt_max"] < 1.15

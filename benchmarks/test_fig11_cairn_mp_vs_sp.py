@@ -1,0 +1,22 @@
+"""FIG11 — Fig. 11 of the paper: MP vs SP per-flow delays on CAIRN.
+
+Paper claim: "the delays of SP for some flows are two to four times
+those of MP", and MP-TL-10-TS-10 (allocation only at route updates) is
+already much closer to OPT than SP.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import fig11_cairn_mp_vs_sp, render_flow_table
+
+
+def test_fig11(benchmark, record_figure):
+    result = run_once(benchmark, fig11_cairn_mp_vs_sp)
+    record_figure(
+        "fig11",
+        render_flow_table(result.figure, result.flow_series)
+        + f"\nclaim: {result.claim}\nmetrics: {result.metrics}",
+    )
+    # Some flows suffer multi-x under SP; no flow does meaningfully
+    # better under SP than under MP.
+    assert result.metrics["sp_over_mp_max"] > 2.0
+    assert result.metrics["sp_over_mp_min"] > 0.9

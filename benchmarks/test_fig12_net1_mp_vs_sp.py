@@ -1,0 +1,20 @@
+"""FIG12 — Fig. 12 of the paper: MP vs SP per-flow delays on NET1.
+
+Paper claim: "average delays of SP are as much as five to six times
+those of MP routing which is due to higher connectivity available in
+NET1" (i.e. a larger gap than CAIRN's 2-4x).
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import fig12_net1_mp_vs_sp, render_flow_table
+
+
+def test_fig12(benchmark, record_figure):
+    result = run_once(benchmark, fig12_net1_mp_vs_sp)
+    record_figure(
+        "fig12",
+        render_flow_table(result.figure, result.flow_series)
+        + f"\nclaim: {result.claim}\nmetrics: {result.metrics}",
+    )
+    assert result.metrics["sp_over_mp_max"] > 2.5
+    assert result.metrics["sp_over_mp_min"] > 0.9

@@ -1,0 +1,22 @@
+"""FIG13 — Fig. 13 of the paper: effect of increasing Tl on CAIRN.
+
+Paper claim: "when Tl is increased ... the delays in SP have more than
+doubled, while the delays of MP remain relatively unchanged."
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import fig13_cairn_tl_sweep, render_series
+
+
+def test_fig13(benchmark, record_figure):
+    result = run_once(benchmark, fig13_cairn_tl_sweep)
+    record_figure(
+        "fig13",
+        render_series(result.figure, result.sweep_series, x_name="Tl (s)")
+        + f"\nclaim: {result.claim}\nmetrics: {result.metrics}",
+    )
+    # MP insensitive to Tl; SP strongly sensitive, and (on CAIRN, as in
+    # the paper) worse as Tl grows.
+    assert result.metrics["mp_relative_change"] < 0.10
+    assert result.metrics["sp_relative_change"] > 0.5
+    assert result.metrics["sp_last_over_first"] > 2.0

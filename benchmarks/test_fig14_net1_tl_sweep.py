@@ -1,0 +1,26 @@
+"""FIG14 — Fig. 14 of the paper: effect of increasing Tl on NET1.
+
+Paper claim: "delays for SP increased significantly while there is
+negligible change in delays of MP".
+
+Measured note (see EXPERIMENTS.md): MP's insensitivity reproduces
+exactly; SP is strongly Tl-sensitive on NET1 as well, though in our
+fluid model the *sign* of SP's Tl dependence on this dense topology can
+differ from CAIRN's (route-flap chasing at short Tl vs backlog
+integration at long Tl).  The shape claim asserted here is therefore
+MP-flat / SP-volatile.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench import fig14_net1_tl_sweep, render_series
+
+
+def test_fig14(benchmark, record_figure):
+    result = run_once(benchmark, fig14_net1_tl_sweep)
+    record_figure(
+        "fig14",
+        render_series(result.figure, result.sweep_series, x_name="Tl (s)")
+        + f"\nclaim: {result.claim}\nmetrics: {result.metrics}",
+    )
+    assert result.metrics["mp_relative_change"] < 0.10
+    assert result.metrics["sp_relative_change"] > 0.5

@@ -1,0 +1,86 @@
+"""MICRO — protocol and engine microbenchmarks.
+
+Not a paper figure; quantifies the implementation itself:
+
+- MPDA convergence cost (messages, MTU runs) versus network size —
+  the paper argues its complexity is "similar to the complexity of
+  routing protocols that provide single-path routing";
+- OPT's dependence on the global step size eta (the paper's central
+  criticism of Gallager's algorithm);
+- raw event-engine throughput.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.driver import ProtocolDriver
+from repro.core.mpda import MPDARouter
+from repro.gallager.opt import optimize
+from repro.graph.generators import random_connected
+from repro.netsim.engine import Engine
+from repro.sim.scenario import net1_scenario
+
+
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_mpda_convergence_scaling(benchmark, record_figure, n):
+    topo = random_connected(n, extra_links=n // 2, seed=1, jitter=0.3)
+
+    def converge():
+        driver = ProtocolDriver(topo, MPDARouter, seed=0)
+        driver.start(topo.idle_marginal_costs())
+        driver.run()
+        driver.verify_converged()
+        return driver.message_stats()
+
+    stats = run_once(benchmark, converge)
+    record_figure(
+        f"micro_mpda_n{n}",
+        f"MPDA cold-start convergence, n={n}, links={topo.num_links}: "
+        f"{stats}",
+    )
+    # messages stay polynomial and modest: well under n^3
+    assert stats["delivered"] < n**3
+
+
+@pytest.mark.parametrize("eta", [0.01, 0.1, 0.5])
+def test_opt_eta_sensitivity(benchmark, record_figure, eta):
+    """The global constant the paper criticizes: iterations vs eta."""
+    scenario = net1_scenario(load=1.0)
+
+    def run():
+        return optimize(
+            scenario.topo,
+            scenario.traffic,
+            eta=eta,
+            max_iterations=4000,
+        )
+
+    result = run_once(benchmark, run)
+    record_figure(
+        f"micro_opt_eta{eta}",
+        f"OPT eta={eta}: iterations={result.iterations}, "
+        f"converged={result.converged}, D_T={result.total_delay:.4f}",
+    )
+    assert result.history[-1] <= result.history[0]
+
+
+def test_engine_throughput(benchmark, record_figure):
+    """Events per second of the bare discrete-event engine."""
+
+    def pump():
+        engine = Engine()
+        count = 200_000
+        state = {"left": count}
+
+        def tick():
+            state["left"] -= 1
+            if state["left"] > 0:
+                engine.schedule(1e-6, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return engine.processed
+
+    processed = benchmark(pump)
+    record_figure("micro_engine", f"engine processed {processed} events")
+    assert processed == 200_000

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The environment's setuptools predates PEP 660 editable installs (no
+``bdist_wheel``); this file lets ``pip install -e .`` fall back to the
+``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Benchmark harness: regenerates every figure of the paper's Section 5.
+
+Each function in :mod:`repro.bench.figures` reproduces one figure's data
+series; :mod:`repro.bench.reporting` renders them as the tables the
+``benchmarks/`` suite prints and records.  See DESIGN.md §3 for the
+experiment index and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.bench.figures import (
+    FigureResult,
+    abl_allocation,
+    abl_successors,
+    dyn_bursty,
+    fig09_cairn_opt_vs_mp,
+    fig10_net1_opt_vs_mp,
+    fig11_cairn_mp_vs_sp,
+    fig12_net1_mp_vs_sp,
+    fig13_cairn_tl_sweep,
+    fig14_net1_tl_sweep,
+)
+from repro.bench.reporting import render_flow_table, render_series
+
+__all__ = [
+    "FigureResult",
+    "fig09_cairn_opt_vs_mp",
+    "fig10_net1_opt_vs_mp",
+    "fig11_cairn_mp_vs_sp",
+    "fig12_net1_mp_vs_sp",
+    "fig13_cairn_tl_sweep",
+    "fig14_net1_tl_sweep",
+    "dyn_bursty",
+    "abl_allocation",
+    "abl_successors",
+    "render_flow_table",
+    "render_series",
+]

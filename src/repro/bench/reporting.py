@@ -1,0 +1,75 @@
+"""Plain-text rendering of figure data (the paper's plots as tables)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def render_flow_table(
+    title: str,
+    series: Mapping[str, Mapping[str, float]],
+    *,
+    unit: str = "ms",
+) -> str:
+    """A per-flow table: rows are flow ids, columns are run labels.
+
+    This is the textual form of Figs. 9-12 (flow id on the x-axis, one
+    curve per run label).
+    """
+    labels = list(series)
+    flows: list[str] = []
+    for values in series.values():
+        for flow in values:
+            if flow not in flows:
+                flows.append(flow)
+    flows.sort(key=lambda f: (len(f), f))  # f0, f1, ..., f10
+
+    width = max(10, *(len(lbl) + 2 for lbl in labels))
+    header = "flow".ljust(8) + "".join(lbl.rjust(width) for lbl in labels)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for flow in flows:
+        row = flow.ljust(8)
+        for label in labels:
+            value = series[label].get(flow)
+            cell = f"{value:.3f}" if value is not None else "-"
+            row += cell.rjust(width)
+        lines.append(row)
+    lines.append("-" * len(header))
+    lines.append(f"(delays in {unit})")
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    x_name: str = "x",
+    unit: str = "ms",
+) -> str:
+    """An (x, y) table: rows are x values, columns are run labels.
+
+    The textual form of Figs. 13-14 (Tl on the x-axis).
+    """
+    labels = list(series)
+    xs: list[float] = []
+    for points in series.values():
+        for x, _ in points:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+
+    width = max(12, *(len(lbl) + 2 for lbl in labels))
+    header = x_name.ljust(10) + "".join(lbl.rjust(width) for lbl in labels)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for x in xs:
+        row = f"{x:g}".ljust(10)
+        for label in labels:
+            value = next(
+                (y for px, y in series[label] if px == x), None
+            )
+            cell = f"{value:.3f}" if value is not None else "-"
+            row += cell.rjust(width)
+        lines.append(row)
+    lines.append("-" * len(header))
+    lines.append(f"(values in {unit})")
+    return "\n".join(lines)

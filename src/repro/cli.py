@@ -1,0 +1,120 @@
+"""Command-line interface: regenerate any experiment from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig09 [--out results.txt]
+    python -m repro run all
+
+Equivalent to the ``benchmarks/`` suite but without pytest — handy for
+one-off runs and for piping tables elsewhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from repro.bench import figures
+from repro.bench.figures import FigureResult
+from repro.bench.reporting import render_flow_table, render_series
+
+#: Experiment registry: id -> (factory, description).
+EXPERIMENTS: dict[str, tuple[Callable[[], FigureResult], str]] = {
+    "fig09": (figures.fig09_cairn_opt_vs_mp, "CAIRN: OPT vs MP (Fig. 9)"),
+    "fig10": (figures.fig10_net1_opt_vs_mp, "NET1: OPT vs MP (Fig. 10)"),
+    "fig11": (figures.fig11_cairn_mp_vs_sp, "CAIRN: MP vs SP (Fig. 11)"),
+    "fig12": (figures.fig12_net1_mp_vs_sp, "NET1: MP vs SP (Fig. 12)"),
+    "fig13": (figures.fig13_cairn_tl_sweep, "CAIRN: effect of Tl (Fig. 13)"),
+    "fig14": (figures.fig14_net1_tl_sweep, "NET1: effect of Tl (Fig. 14)"),
+    "dyn-net1": (
+        lambda: figures.dyn_bursty("net1"),
+        "NET1: MP vs SP under bursty traffic",
+    ),
+    "dyn-cairn": (
+        lambda: figures.dyn_bursty("cairn"),
+        "CAIRN: MP vs SP under bursty traffic",
+    ),
+    "abl-allocation": (
+        figures.abl_allocation,
+        "ablation: allocation cadence and damping",
+    ),
+    "abl-successors": (
+        figures.abl_successors,
+        "ablation: successor-set size",
+    ),
+}
+
+
+def render(result: FigureResult) -> str:
+    """Full textual form of one experiment's outcome."""
+    parts: list[str] = []
+    if result.flow_series:
+        parts.append(render_flow_table(result.figure, result.flow_series))
+    if result.sweep_series:
+        parts.append(
+            render_series(result.figure, result.sweep_series, x_name="Tl (s)")
+        )
+    parts.append(f"claim: {result.claim}")
+    metrics = ", ".join(
+        f"{key}={value:.4g}" for key, value in result.metrics.items()
+    )
+    parts.append(f"metrics: {metrics}")
+    return "\n".join(parts)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Simple Approximation to Minimum-Delay "
+            "Routing' (SIGCOMM 1999) — experiment runner"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id",
+    )
+    run.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the rendered tables to this file",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            _, description = EXPERIMENTS[name]
+            print(f"{name:16} {description}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    chunks: list[str] = []
+    for name in names:
+        factory, _ = EXPERIMENTS[name]
+        text = render(factory())
+        chunks.append(text)
+        print(text)
+        print()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n\n".join(chunks) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""The paper's contribution: near-optimum-delay routing.
+
+Components (Section 4 of the paper):
+
+- :mod:`repro.core.costs` — marginal-delay link-cost estimators;
+- :mod:`repro.core.allocation` — routing parameters and the IH / AH
+  flow-allocation heuristics (Figs. 6 and 7);
+- :mod:`repro.core.lfi` — the Loop-Free Invariant conditions (Eqs. 16-17)
+  and their checker (Theorem 1);
+- :mod:`repro.core.linkstate` — LSU messages and topology tables;
+- :mod:`repro.core.pda` — the Partial-topology Dissemination Algorithm
+  (Figs. 1-3);
+- :mod:`repro.core.mpda` — the Multipath PDA (Fig. 4) with one-hop
+  ACTIVE/PASSIVE synchronization enforcing the LFI conditions;
+- :mod:`repro.core.driver` — a deterministic message-passing driver for
+  running a network of protocol routers to quiescence;
+- :mod:`repro.core.spf` — the paper's single-path (SP) restriction;
+- :mod:`repro.core.router` — the assembled MP router (MPDA + IH/AH with
+  the two-timescale Tl / Ts update discipline).
+"""
+
+from repro.core.allocation import (
+    AllocationTable,
+    ah,
+    ih,
+    validate_property1,
+)
+from repro.core.costs import MM1CostEstimator, OnlineCostEstimator
+from repro.core.lfi import LFIViolation, check_lfi, lfi_successors
+from repro.core.linkstate import LinkEntry, LSUMessage, TopologyTable
+from repro.core.mpda import MPDARouter
+from repro.core.pda import PDARouter
+from repro.core.driver import ProtocolDriver
+from repro.core.router import MPRouting
+from repro.core.spf import single_path_successors
+
+__all__ = [
+    "MM1CostEstimator",
+    "OnlineCostEstimator",
+    "AllocationTable",
+    "ih",
+    "ah",
+    "validate_property1",
+    "LFIViolation",
+    "check_lfi",
+    "lfi_successors",
+    "LinkEntry",
+    "LSUMessage",
+    "TopologyTable",
+    "PDARouter",
+    "MPDARouter",
+    "ProtocolDriver",
+    "MPRouting",
+    "single_path_successors",
+]

@@ -1,0 +1,139 @@
+"""Marginal-delay link-cost estimators (Section 4.3 of the paper).
+
+The cost of a link is its *marginal delay* :math:`D'(f)`.  The paper
+offers two routes to it and stresses that its framework "does not depend
+on which specific technique is used for marginal-delay estimation":
+
+1. the closed-form M/M/1 expression obtained by differentiating Eq. (24)
+   — :class:`MM1CostEstimator`;
+2. an on-line estimator needing *no a-priori knowledge of link capacity*
+   (the paper borrows a perturbation-analysis technique from Cassandras,
+   Abidi & Towsley).  :class:`OnlineCostEstimator` fills that role here:
+   it fits, with exponential forgetting, the local slope of the measured
+   per-unit delay against the measured flow, giving
+   :math:`\\widehat{D'}(f) = \\bar w + \\bar f \\cdot
+   \\widehat{dw/df}` — the product-rule expansion of
+   :math:`d(f\\,w(f))/df` — from measurements alone.  See DESIGN.md §4
+   for the substitution rationale.
+
+Both estimators consume periodic measurements ``(flow, per-unit delay)``
+taken over an interval (the short interval ``Ts`` for allocation, the
+long interval ``Tl`` for path recomputation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import CapacityError
+from repro.fluid.delay import DEFAULT_RHO_MAX, MM1Delay
+
+
+@dataclass
+class Measurement:
+    """One measurement window of a link.
+
+    Attributes:
+        flow: average flow through the link over the window, packets/s.
+        per_unit_delay: average delay per unit of traffic (seconds) —
+            queueing plus transmission plus propagation.
+    """
+
+    flow: float
+    per_unit_delay: float
+
+    def __post_init__(self) -> None:
+        if self.flow < 0:
+            raise CapacityError(f"negative measured flow: {self.flow!r}")
+        if self.per_unit_delay < 0:
+            raise CapacityError(
+                f"negative measured delay: {self.per_unit_delay!r}"
+            )
+
+
+class MM1CostEstimator:
+    """Closed-form marginal delay assuming the link is an M/M/1 queue.
+
+    Requires the link capacity (the paper's main criticism of this
+    estimator) but is exact under the fluid model, so it is the default
+    for reproducing the figures.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        prop_delay: float = 0.0,
+        rho_max: float = DEFAULT_RHO_MAX,
+    ) -> None:
+        self._law = MM1Delay(capacity, prop_delay, rho_max)
+        self._cost = self._law.marginal(0.0)
+
+    def observe(self, measurement: Measurement) -> float:
+        """Ingest one window and return the updated cost."""
+        self._cost = self._law.marginal(measurement.flow)
+        return self._cost
+
+    @property
+    def cost(self) -> float:
+        """Latest marginal-delay estimate (seconds per unit of flow)."""
+        return self._cost
+
+
+@dataclass
+class OnlineCostEstimator:
+    """Capacity-free marginal-delay estimator.
+
+    Maintains exponentially-forgotten least-squares statistics of the
+    measured per-unit delay ``w`` versus the measured flow ``f`` and
+    reports :math:`\\bar w + \\bar f \\cdot \\text{slope}`.  Because the
+    delay law is convex and increasing, the marginal delay can never be
+    below the current per-unit delay; the estimate is clamped accordingly,
+    which also rides out regression noise when the flow barely varies.
+
+    Attributes:
+        forgetting: per-window retention factor in (0, 1]; smaller values
+            track bursty traffic faster at the price of noisier slopes.
+        slope_floor: minimum accepted regression denominator (flow
+            variance); below it the slope is treated as unknown.
+    """
+
+    forgetting: float = 0.9
+    slope_floor: float = 1e-12
+    _n: float = field(default=0.0, repr=False)
+    _sf: float = field(default=0.0, repr=False)
+    _sw: float = field(default=0.0, repr=False)
+    _sff: float = field(default=0.0, repr=False)
+    _sfw: float = field(default=0.0, repr=False)
+    _cost: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.forgetting <= 1.0:
+            raise CapacityError(
+                f"forgetting factor must be in (0, 1]: {self.forgetting!r}"
+            )
+
+    def observe(self, measurement: Measurement) -> float:
+        """Ingest one window and return the updated cost."""
+        lam = self.forgetting
+        f, w = measurement.flow, measurement.per_unit_delay
+        self._n = lam * self._n + 1.0
+        self._sf = lam * self._sf + f
+        self._sw = lam * self._sw + w
+        self._sff = lam * self._sff + f * f
+        self._sfw = lam * self._sfw + f * w
+
+        mean_f = self._sf / self._n
+        mean_w = self._sw / self._n
+        var_f = self._sff / self._n - mean_f * mean_f
+        if var_f > self.slope_floor:
+            cov_fw = self._sfw / self._n - mean_f * mean_w
+            slope = max(cov_fw / var_f, 0.0)  # delay never falls with flow
+        else:
+            slope = 0.0
+        self._cost = max(mean_w + mean_f * slope, w)
+        return self._cost
+
+    @property
+    def cost(self) -> float:
+        """Latest marginal-delay estimate (seconds per unit of flow)."""
+        return self._cost

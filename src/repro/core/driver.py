@@ -1,0 +1,242 @@
+"""Deterministic message-passing driver for protocol routers.
+
+The routers in :mod:`repro.core.pda` / :mod:`repro.core.mpda` are
+transport-agnostic: they queue outgoing LSUs on an outbox.  This driver
+supplies the paper's delivery assumptions — "messages transmitted over an
+operational link are received correctly and in the proper sequence within
+a finite time and are processed one at a time in the order received" —
+with per-link FIFO channels and a seeded random interleaving across
+channels, so tests can explore many asynchronous schedules reproducibly.
+
+The driver can machine-check Theorem 3 (instantaneous loop freedom) after
+*every single delivery* via :func:`repro.core.mpda.check_safety`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from collections.abc import Callable, Mapping
+
+from repro.core.linkstate import INFINITY, LSUMessage
+from repro.core.mpda import MPDARouter, check_safety
+from repro.core.pda import PDARouter
+from repro.exceptions import ConvergenceError, RoutingError, TopologyError
+from repro.graph.shortest_paths import CostMap, dijkstra
+from repro.graph.topology import LinkId, NodeId, Topology
+
+RouterFactory = Callable[[NodeId], PDARouter]
+
+
+class ProtocolDriver:
+    """Runs a network of protocol routers to quiescence.
+
+    Args:
+        topo: the physical network (control messages travel over its links).
+        router_factory: constructor for each router (default MPDA).
+        seed: seed for the delivery interleaving.
+        check_invariants: when True (and the routers are MPDA), verify the
+            LFI safety property after every event.
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        router_factory: RouterFactory = MPDARouter,
+        *,
+        seed: int = 0,
+        check_invariants: bool = False,
+    ) -> None:
+        self.topo = topo
+        self.routers: dict[NodeId, PDARouter] = {
+            node: router_factory(node) for node in topo.nodes
+        }
+        self._channels: dict[LinkId, deque[LSUMessage]] = {
+            ln.link_id: deque() for ln in topo.links()
+        }
+        self._rng = random.Random(seed)
+        self.check_invariants = check_invariants
+        self.delivered = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # driving events
+    # ------------------------------------------------------------------
+    def start(self, costs: CostMap) -> None:
+        """Bring every adjacent link up with its initial cost."""
+        if self._started:
+            raise RoutingError("driver already started")
+        self._started = True
+        for node, router in self.routers.items():
+            for nbr in self.topo.neighbors(node):
+                router.link_up(nbr, self._cost_for(costs, node, nbr))
+                self._collect(router)
+                self._maybe_check()
+
+    def set_costs(self, costs: Mapping[LinkId, float]) -> None:
+        """Inject adjacent-link cost changes (e.g. new marginal delays)."""
+        self._require_started()
+        for (head, tail), cost in costs.items():
+            router = self.routers[head]
+            if tail not in router.link_costs:
+                raise TopologyError(f"link {head!r}->{tail!r} is not up")
+            if router.link_costs[tail] == cost:
+                continue
+            router.link_cost_change(tail, cost)
+            self._collect(router)
+            self._maybe_check()
+
+    def fail_link(self, a: NodeId, b: NodeId) -> None:
+        """Fail the duplex link ``a <-> b``, dropping in-flight messages."""
+        self._require_started()
+        self._channels[(a, b)].clear()
+        self._channels[(b, a)].clear()
+        for head, tail in ((a, b), (b, a)):
+            router = self.routers[head]
+            if tail in router.link_costs:
+                router.link_down(tail)
+                self._collect(router)
+                self._maybe_check()
+
+    def restore_link(self, a: NodeId, b: NodeId, cost_ab: float, cost_ba: float) -> None:
+        """Bring the duplex link ``a <-> b`` back up."""
+        self._require_started()
+        for head, tail, cost in ((a, b, cost_ab), (b, a, cost_ba)):
+            self.routers[head].link_up(tail, cost)
+            self._collect(self.routers[head])
+            self._maybe_check()
+
+    # ------------------------------------------------------------------
+    # message pump
+    # ------------------------------------------------------------------
+    def pending_messages(self) -> int:
+        """Messages currently in flight."""
+        return sum(len(q) for q in self._channels.values())
+
+    def step(self) -> bool:
+        """Deliver one in-flight message; False when the network is quiet."""
+        busy = [link_id for link_id, q in self._channels.items() if q]
+        if not busy:
+            return False
+        link_id = self._rng.choice(busy)
+        message = self._channels[link_id].popleft()
+        receiver = self.routers[link_id[1]]
+        receiver.receive(message)
+        self.delivered += 1
+        self._collect(receiver)
+        self._maybe_check()
+        return True
+
+    def run(self, max_messages: int = 1_000_000) -> int:
+        """Deliver messages until quiescent; returns deliveries made."""
+        done = 0
+        while self.step():
+            done += 1
+            if done > max_messages:
+                raise ConvergenceError(
+                    f"protocol did not quiesce within {max_messages} messages"
+                )
+        return done
+
+    # ------------------------------------------------------------------
+    # verification helpers
+    # ------------------------------------------------------------------
+    def current_costs(self) -> dict[LinkId, float]:
+        """The adjacent-link costs as currently measured by the routers."""
+        costs: dict[LinkId, float] = {}
+        for node, router in self.routers.items():
+            for nbr, cost in router.link_costs.items():
+                costs[(node, nbr)] = cost
+        return costs
+
+    def verify_converged(self) -> None:
+        """Assert the liveness theorems against a global oracle.
+
+        Checks Theorem 2 (every router's distances equal true shortest
+        distances under the current costs) and, for MPDA routers,
+        Theorem 4 (``S_j = {k : D_j^k < D_j^i}`` and ``FD = D``).
+        """
+        if self.pending_messages():
+            raise ConvergenceError("network is not quiescent")
+        costs = self.current_costs()
+        truth = {
+            node: dijkstra(costs, node, nodes=self.topo.nodes)[0]
+            for node in self.topo.nodes
+        }
+        for node, router in self.routers.items():
+            for dest in self.topo.nodes:
+                if dest == node:
+                    continue
+                expect = truth[node].get(dest, INFINITY)
+                got = router.distance_to(dest)
+                if abs(got - expect) > 1e-9 and got != expect:
+                    raise ConvergenceError(
+                        f"router {node!r}: distance to {dest!r} is {got!r}, "
+                        f"oracle says {expect!r}"
+                    )
+                if isinstance(router, MPDARouter):
+                    self._verify_mpda_entry(router, dest, truth, expect)
+
+    def _verify_mpda_entry(self, router, dest, truth, expect) -> None:
+        node = router.node_id
+        if expect != INFINITY:
+            fd = router.feasible_distance.get(dest, INFINITY)
+            if abs(fd - expect) > 1e-9:
+                raise ConvergenceError(
+                    f"router {node!r}: FD to {dest!r} is {fd!r}, distance "
+                    f"is {expect!r} (Theorem 4 violated)"
+                )
+        want = {
+            nbr
+            for nbr in router.up_neighbors()
+            if truth[nbr].get(dest, INFINITY) < expect
+        }
+        got = router.successors(dest)
+        if got != want:
+            raise ConvergenceError(
+                f"router {node!r}: successors to {dest!r} are "
+                f"{sorted(map(repr, got))}, oracle says "
+                f"{sorted(map(repr, want))}"
+            )
+
+    def message_stats(self) -> dict[str, int]:
+        """Aggregate protocol-overhead counters."""
+        return {
+            "delivered": self.delivered,
+            "lsu_sent": sum(r.lsu_sent for r in self.routers.values()),
+            "lsu_received": sum(r.lsu_received for r in self.routers.values()),
+            "mtu_runs": sum(r.mtu_runs for r in self.routers.values()),
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _collect(self, router: PDARouter) -> None:
+        """Move a router's outbox into the channels."""
+        for nbr, message in router.outbox:
+            channel = self._channels.get((router.node_id, nbr))
+            if channel is not None and nbr in router.link_costs:
+                channel.append(message)
+        router.outbox.clear()
+
+    def _maybe_check(self) -> None:
+        if not self.check_invariants:
+            return
+        mpda = {
+            node: router
+            for node, router in self.routers.items()
+            if isinstance(router, MPDARouter)
+        }
+        if mpda:
+            check_safety(mpda)
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RoutingError("driver not started; call start() first")
+
+    @staticmethod
+    def _cost_for(costs: CostMap, head: NodeId, tail: NodeId) -> float:
+        try:
+            return costs[(head, tail)]
+        except KeyError:
+            raise TopologyError(f"no initial cost for {head!r}->{tail!r}")

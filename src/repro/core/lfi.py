@@ -1,0 +1,148 @@
+"""The Loop-Free Invariant (LFI) conditions — Eqs. (16)-(17), Theorem 1.
+
+The paper's central verification device: if at every instant every router
+*i* keeps a *feasible distance* :math:`FD^i_j` satisfying
+
+.. math::
+
+    FD^i_j \\le D^i_{jk} \\quad \\forall k \\in N^i   \\qquad (16)
+
+(where :math:`D^i_{jk}` is *k*'s distance to *j* as known to *i*) and
+chooses successors
+
+.. math::
+
+    S^i_j = \\{\\,k \\mid D^i_{jk} < FD^i_j\\,\\}           \\qquad (17)
+
+then the union of all successor sets is loop-free at every instant.
+
+This module provides a checker used by the test suite and simulation
+safety monitors against live MPDA router states, and the *converged*
+successor-set computation :func:`lfi_successors` (by Theorem 4, what MPDA
+produces once quiet: :math:`S^i_j = \\{k : D^k_j < D^i_j\\}`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.graph.shortest_paths import CostMap, bellman_ford
+from repro.graph.topology import NodeId, Topology
+from repro.graph.validation import find_successor_cycle
+
+
+class LFIViolation(AssertionError):
+    """A router state violates the LFI conditions.
+
+    Derives from AssertionError because in a correct implementation this
+    is unreachable; the safety monitors promote it to a test failure.
+    """
+
+
+def check_lfi(
+    destination: NodeId,
+    feasible_distance: Mapping[NodeId, float],
+    reported: Mapping[NodeId, Mapping[NodeId, float]],
+    successors: Mapping[NodeId, set[NodeId]],
+) -> None:
+    """Verify Eqs. (16)-(17) and acyclicity for one destination.
+
+    Args:
+        destination: the destination *j*.
+        feasible_distance: :math:`FD^i_j` per router *i*.
+        reported: ``reported[i][k]`` = :math:`D^i_{jk}`, the distance from
+            neighbor *k* to *j* in *i*'s copy of *k*'s topology.
+        successors: :math:`S^i_j` per router.
+
+    Raises:
+        LFIViolation: if any condition fails.
+    """
+    for router, fd in feasible_distance.items():
+        known = reported.get(router, {})
+        succ = successors.get(router, set())
+        for nbr in succ:
+            if nbr not in known:
+                raise LFIViolation(
+                    f"router {router!r}: successor {nbr!r} has no reported "
+                    f"distance to {destination!r}"
+                )
+            if not known[nbr] < fd:
+                raise LFIViolation(
+                    f"router {router!r}: successor {nbr!r} has "
+                    f"D_jk = {known[nbr]!r} >= FD = {fd!r} "
+                    f"(Eq. 17 violated for destination {destination!r})"
+                )
+    cycle = find_successor_cycle(
+        {router: list(succ) for router, succ in successors.items()}
+    )
+    if cycle is not None:
+        raise LFIViolation(
+            f"successor graph for {destination!r} has cycle {cycle!r} "
+            "(Theorem 1 violated)"
+        )
+
+
+def lfi_successors(
+    topo: Topology,
+    costs: CostMap,
+    destination: NodeId,
+) -> dict[NodeId, list[NodeId]]:
+    """Converged multipath successor sets for one destination.
+
+    With globally consistent distances :math:`D^i_j` under ``costs``, the
+    set is :math:`S^i_j = \\{k \\in N^i : D^k_j < D^i_j\\}` — neighbors
+    strictly closer to the destination, regardless of the cost of the
+    link to them ("multiple paths of unequal cost").  This is the steady
+    state MPDA converges to (Theorem 4).
+    """
+    dist = bellman_ford(costs, destination, nodes=topo.nodes)
+    successors: dict[NodeId, list[NodeId]] = {}
+    for node in topo.nodes:
+        if node == destination:
+            successors[node] = []
+            continue
+        own = dist.get(node, float("inf"))
+        successors[node] = [
+            nbr
+            for nbr in topo.neighbors(node)
+            if costs.get((node, nbr)) is not None
+            and dist.get(nbr, float("inf")) < own
+        ]
+    return successors
+
+
+def shortest_successor(
+    topo: Topology,
+    costs: CostMap,
+    destination: NodeId,
+) -> dict[NodeId, list[NodeId]]:
+    """Single best successor per router (the SP baseline's sets).
+
+    The best successor minimizes :math:`D^k_j + l^i_k`; ties break on the
+    deterministic node order so all experiments are reproducible.
+    """
+    dist = bellman_ford(costs, destination, nodes=topo.nodes)
+    successors: dict[NodeId, list[NodeId]] = {}
+    for node in topo.nodes:
+        if node == destination:
+            successors[node] = []
+            continue
+        best: NodeId | None = None
+        best_val = float("inf")
+        for nbr in topo.neighbors(node):
+            cost = costs.get((node, nbr))
+            if cost is None:
+                continue
+            via = dist.get(nbr, float("inf")) + cost
+            if via < best_val or (via == best_val and repr(nbr) < repr(best)):
+                best, best_val = nbr, via
+        # Loop-freedom for the single path still requires the neighbor to
+        # be strictly closer; with consistent costs the minimizing
+        # neighbor always is, unless the destination is unreachable.
+        if best is not None and dist.get(best, float("inf")) < dist.get(
+            node, float("inf")
+        ):
+            successors[node] = [best]
+        else:
+            successors[node] = []
+    return successors

@@ -1,0 +1,188 @@
+"""Link-state update (LSU) messages and topology tables.
+
+The unit of information exchanged between routers is the LSU message: one
+or more entries, each the triplet ``[h, t, d]`` (head, tail, cost of link
+``h -> t``) tagged *add*, *change* or *delete*, plus an ACK flag used by
+MPDA to acknowledge the previous LSU from that neighbor.
+
+A :class:`TopologyTable` stores one router's view of some set of links.
+Each router keeps a *main* table ``T_i`` (its own shortest-path tree after
+MTU) and one *neighbor* table ``T_k_i`` per neighbor — a time-delayed copy
+of that neighbor's main table.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.graph.shortest_paths import dijkstra
+from repro.graph.topology import LinkId, NodeId
+
+INFINITY = float("inf")
+
+
+class EntryOp(enum.Enum):
+    """What an LSU entry does to the receiver's neighbor table."""
+
+    ADD = "add"
+    CHANGE = "change"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class LinkEntry:
+    """One LSU entry: the link ``head -> tail`` with cost ``cost``."""
+
+    op: EntryOp
+    head: NodeId
+    tail: NodeId
+    cost: float = INFINITY
+
+    def __str__(self) -> str:  # compact form used in protocol traces
+        if self.op is EntryOp.DELETE:
+            return f"-({self.head}->{self.tail})"
+        sign = "+" if self.op is EntryOp.ADD else "~"
+        return f"{sign}({self.head}->{self.tail}:{self.cost:.4g})"
+
+
+_sequence = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class LSUMessage:
+    """A link-state update from ``sender``.
+
+    Attributes:
+        sender: the originating router.
+        entries: topology differences (may be empty for a pure ACK).
+        ack: True when this message also acknowledges the last LSU
+            received from the destination neighbor (MPDA only).
+        seq: monotonically increasing id, for traces and debugging only —
+            the protocol itself never inspects it (PDA validates link
+            information by distance to the head node, not sequence
+            numbers).
+    """
+
+    sender: NodeId
+    entries: tuple[LinkEntry, ...] = ()
+    ack: bool = False
+    seq: int = field(default_factory=lambda: next(_sequence))
+
+    @property
+    def is_pure_ack(self) -> bool:
+        return self.ack and not self.entries
+
+    def __str__(self) -> str:
+        body = ",".join(str(e) for e in self.entries) or "empty"
+        flag = "+ack" if self.ack else ""
+        return f"LSU#{self.seq}[{self.sender}:{body}{flag}]"
+
+
+class TopologyTable:
+    """A set of directed links with costs — one router's view of a graph."""
+
+    def __init__(self, links: Mapping[LinkId, float] | None = None) -> None:
+        self._links: dict[LinkId, float] = dict(links) if links else {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def set_link(self, head: NodeId, tail: NodeId, cost: float) -> None:
+        self._links[(head, tail)] = cost
+
+    def delete_link(self, head: NodeId, tail: NodeId) -> None:
+        self._links.pop((head, tail), None)
+
+    def apply(self, entries: Iterable[LinkEntry]) -> None:
+        """Apply LSU entries in order."""
+        for entry in entries:
+            if entry.op is EntryOp.DELETE:
+                self.delete_link(entry.head, entry.tail)
+            else:
+                self.set_link(entry.head, entry.tail, entry.cost)
+
+    def clear(self) -> None:
+        self._links.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def cost(self, head: NodeId, tail: NodeId) -> float:
+        """Cost of the link, or infinity when absent."""
+        return self._links.get((head, tail), INFINITY)
+
+    def links(self) -> dict[LinkId, float]:
+        """All links as a plain cost map (a copy)."""
+        return dict(self._links)
+
+    def links_with_head(self, head: NodeId) -> dict[LinkId, float]:
+        """The links leaving ``head`` — what MTU copies per node."""
+        return {
+            link_id: cost
+            for link_id, cost in self._links.items()
+            if link_id[0] == head
+        }
+
+    def nodes(self) -> set[NodeId]:
+        """Every node appearing as a head or tail."""
+        out: set[NodeId] = set()
+        for head, tail in self._links:
+            out.add(head)
+            out.add(tail)
+        return out
+
+    def distances_from(
+        self, root: NodeId, nodes: list[NodeId] | None = None
+    ) -> dict[NodeId, float]:
+        """Shortest distances from ``root`` within this table."""
+        return dijkstra(self._links, root, nodes=nodes)[0]
+
+    def copy(self) -> "TopologyTable":
+        return TopologyTable(self._links)
+
+    def diff(self, new: "TopologyTable") -> tuple[LinkEntry, ...]:
+        """LSU entries that transform this table into ``new``.
+
+        This is MTU step 8: "Compare oldT with T and note all
+        differences."
+        """
+        entries: list[LinkEntry] = []
+        for link_id, cost in new._links.items():
+            old_cost = self._links.get(link_id)
+            head, tail = link_id
+            if old_cost is None:
+                entries.append(LinkEntry(EntryOp.ADD, head, tail, cost))
+            elif old_cost != cost:
+                entries.append(LinkEntry(EntryOp.CHANGE, head, tail, cost))
+        for link_id in self._links:
+            if link_id not in new._links:
+                head, tail = link_id
+                entries.append(LinkEntry(EntryOp.DELETE, head, tail))
+        return tuple(entries)
+
+    def full_dump(self) -> tuple[LinkEntry, ...]:
+        """ADD entries for every link — sent to a newly-up neighbor."""
+        return tuple(
+            LinkEntry(EntryOp.ADD, head, tail, cost)
+            for (head, tail), cost in self._links.items()
+        )
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __iter__(self) -> Iterator[LinkId]:
+        return iter(self._links)
+
+    def __contains__(self, link_id: LinkId) -> bool:
+        return link_id in self._links
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TopologyTable):
+            return NotImplemented
+        return self._links == other._links
+
+    def __repr__(self) -> str:
+        return f"TopologyTable({len(self._links)} links)"

@@ -1,0 +1,286 @@
+"""MPDA — the Multipath Partial-topology Dissemination Algorithm (Fig. 4).
+
+MPDA is PDA plus the machinery that makes the successor sets *loop-free
+at every instant* (Theorem 3):
+
+- every LSU a router sends is acknowledged by all its neighbors before
+  the router sends the next one (one-hop synchronization, unlike the
+  network-wide synchronization of diffusing computations);
+- a router is **ACTIVE** while waiting for those ACKs and **PASSIVE**
+  otherwise; events received while ACTIVE update the neighbor tables but
+  the main-table update (MTU) is deferred to the ACTIVE→PASSIVE
+  transition;
+- the **feasible distance** :math:`FD^i_j` is kept no larger than any
+  distance value this router has *reported* that a neighbor may still
+  hold: lowered to ``min(FD, D)`` at every PASSIVE-state MTU, and reset
+  to ``min(D_before, D_after)`` at the ACTIVE→PASSIVE transition (at that
+  point every neighbor has acknowledged — hence applied — the last
+  report, so older history is irrelevant);
+- successors are chosen by the LFI rule :math:`S^i_j =
+  \\{k : D^i_{jk} < FD^i_j\\}` (Eq. 17) after *every* event.
+
+:func:`check_safety` verifies the LFI conditions across a whole network
+of live routers, including in-flight states; the simulation drivers call
+it after every event to machine-check Theorem 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+
+from repro.core.lfi import check_lfi
+from repro.core.linkstate import INFINITY, LSUMessage
+from repro.core.pda import PDARouter
+from repro.exceptions import LoopError
+from repro.graph.topology import NodeId
+
+
+class RouterState(enum.Enum):
+    """MPDA synchronization state."""
+
+    PASSIVE = "passive"
+    ACTIVE = "active"
+
+
+class MPDARouter(PDARouter):
+    """One router running MPDA.
+
+    In addition to the PDA state, keeps the feasible distances
+    ``feasible_distance[j]`` (:math:`FD^i_j`), the successor sets
+    ``successor_sets[j]`` (:math:`S^i_j`), and the ACTIVE/PASSIVE
+    synchronization state with the set of neighbors whose ACK is pending.
+    """
+
+    def __init__(self, node_id: NodeId) -> None:
+        super().__init__(node_id)
+        self.state = RouterState.PASSIVE
+        #: Per-neighbor count of LSUs sent and not yet acknowledged.  A
+        #: counter (not a set) because a newly-up neighbor receives a
+        #: full-table dump in addition to the regular diff floods.
+        self.pending_acks: dict[NodeId, int] = {}
+        self.feasible_distance: dict[NodeId, float] = {}
+        self.successor_sets: dict[NodeId, set[NodeId]] = {}
+        self.transitions = 0  # PASSIVE -> ACTIVE count, a protocol metric
+
+    def _outstanding(self) -> bool:
+        """True while any sent LSU still awaits its acknowledgment."""
+        return any(count > 0 for count in self.pending_acks.values())
+
+    def _note_sent(self, neighbor: NodeId) -> None:
+        self.pending_acks[neighbor] = self.pending_acks.get(neighbor, 0) + 1
+        self.state = RouterState.ACTIVE
+
+    def _greet(self, neighbor: NodeId) -> None:
+        dump = self.main_table.full_dump()
+        if dump:
+            self._send(neighbor, LSUMessage(self.node_id, dump))
+            self._note_sent(neighbor)
+            self.transitions += 1
+
+    # ------------------------------------------------------------------
+    # events (PDA entry points reuse _after_ntu, overridden below)
+    # ------------------------------------------------------------------
+    def receive(self, message: LSUMessage) -> None:
+        """An LSU arrived; it may acknowledge our last LSU and/or carry
+        topology entries that themselves require an acknowledgment."""
+        sender = message.sender
+        if sender not in self.link_costs:
+            return  # stale: the adjacent link failed meanwhile
+        self.lsu_received += 1
+        if message.ack and self.pending_acks.get(sender, 0) > 0:
+            self.pending_acks[sender] -= 1
+        if message.entries:
+            self._ntu_apply_lsu(message)
+            self._after_ntu(lsu_sender=sender)
+        else:
+            # Pure ACK: no table changes and nothing to acknowledge back
+            # (acknowledging ACKs would chatter forever).
+            self._after_ntu(lsu_sender=None)
+
+    def link_down(self, neighbor: NodeId) -> None:
+        """Adjacent link failed: pending ACKs from that neighbor are
+        treated as received (the paper's deadlock-avoidance rule)."""
+        self.pending_acks.pop(neighbor, None)
+        super().link_down(neighbor)
+
+    # ------------------------------------------------------------------
+    # the Fig. 4 state machine
+    # ------------------------------------------------------------------
+    def _after_ntu(self, lsu_sender: NodeId | None) -> None:
+        changes: tuple = ()
+        if self.state is RouterState.PASSIVE:
+            # Step 2: update T and lower the feasible distances.
+            changes = self._mtu()
+            self._lower_feasible_distances()
+        elif not self._outstanding():
+            # Step 3: the last ACK arrived — leave the ACTIVE phase.
+            before = dict(self.distances)
+            self.state = RouterState.PASSIVE
+            changes = self._mtu()
+            self._reset_feasible_distances(before)
+        # else: ACTIVE with ACKs outstanding — MTU is deferred.
+
+        # Step 4: successor sets from the LFI rule.
+        self._recompute_successors()
+
+        # Steps 5-8: flood changes (going ACTIVE) and/or acknowledge.
+        if changes and self.link_costs:
+            self.transitions += 1
+            for nbr in self.link_costs:
+                self._note_sent(nbr)
+            self._broadcast(changes, ack_to=lsu_sender)
+        elif lsu_sender is not None:
+            self._send(lsu_sender, LSUMessage(self.node_id, (), ack=True))
+
+    def _lower_feasible_distances(self) -> None:
+        """Fig. 4 step 2b: ``FD_j = min(FD_j, D_j)`` for every known j."""
+        for j, d in self.distances.items():
+            if j == self.node_id or d == INFINITY:
+                continue
+            fd = self.feasible_distance.get(j, INFINITY)
+            if d < fd:
+                self.feasible_distance[j] = d
+
+    def _reset_feasible_distances(
+        self, before: Mapping[NodeId, float]
+    ) -> None:
+        """Fig. 4 step 3c: ``FD_j = min(D_j^before, D_j^after)``.
+
+        Unlike step 2b this may *raise* FD: every neighbor has ACKed the
+        last LSU, so only the just-reported and the about-to-be-reported
+        distances can still be in any neighbor's tables.
+        """
+        known = set(before) | set(self.distances) | set(self.feasible_distance)
+        for j in known:
+            if j == self.node_id:
+                continue
+            fd = min(
+                before.get(j, INFINITY),
+                self.distances.get(j, INFINITY),
+            )
+            if fd == INFINITY:
+                self.feasible_distance.pop(j, None)
+            else:
+                self.feasible_distance[j] = fd
+
+    def _recompute_successors(self) -> None:
+        """Fig. 4 step 4: :math:`S_j = \\{k : D^i_{jk} < FD^i_j\\}`.
+
+        A destination with no feasible-distance entry has
+        :math:`FD = \\infty`; neighbors with finite reported distance
+        are then usable — safe because this router has never reported a
+        finite distance to that destination, so no neighbor can be
+        routing through it (see module docstring).
+        """
+        destinations: set[NodeId] = set(self.feasible_distance)
+        for dists in self.nbr_distances.values():
+            destinations.update(dists)
+        destinations.discard(self.node_id)
+
+        successors: dict[NodeId, set[NodeId]] = {}
+        for j in destinations:
+            fd = self.feasible_distance.get(j, INFINITY)
+            chosen = {
+                k
+                for k in self.link_costs
+                if self.neighbor_distance(k, j) < fd
+            }
+            if chosen:
+                successors[j] = chosen
+        self.successor_sets = successors
+
+    # ------------------------------------------------------------------
+    # forwarding-layer queries
+    # ------------------------------------------------------------------
+    def successors(self, destination: NodeId) -> set[NodeId]:
+        """:math:`S^i_j` — may be empty when no loop-free route is known."""
+        return set(self.successor_sets.get(destination, ()))
+
+    def marginal_distance_via(
+        self, destination: NodeId
+    ) -> dict[NodeId, float]:
+        """:math:`D^i_{jk} + l^i_k` for each successor — IH/AH's input."""
+        return {
+            k: self.neighbor_distance(k, destination) + self.link_costs[k]
+            for k in self.successors(destination)
+            if k in self.link_costs
+        }
+
+    def best_successor(self, destination: NodeId) -> NodeId | None:
+        """The single best successor — how the paper derives its SP
+        baseline ("restrict our multipath routing algorithm to use only
+        the best successor")."""
+        via = self.marginal_distance_via(destination)
+        if not via:
+            return None
+        return min(via, key=lambda k: (via[k], repr(k)))
+
+    def is_passive(self) -> bool:
+        return self.state is RouterState.PASSIVE
+
+    def __repr__(self) -> str:
+        return f"MPDARouter({self.node_id!r}, {self.state.value})"
+
+
+def check_safety(
+    routers: Mapping[NodeId, MPDARouter],
+    destination: NodeId | None = None,
+) -> None:
+    """Machine-check Theorem 3 over live router states.
+
+    Verifies, for each destination (or just ``destination``):
+
+    1. Eq. (17): every successor's reported distance is below the
+       router's feasible distance;
+    2. Eq. (16), in its reported-value form: each router's feasible
+       distance never exceeds the copy of *its own* distance held by any
+       neighbor (that copy is what neighbors base their choices on);
+    3. the global successor graph is acyclic.
+
+    Raises:
+        LFIViolation / LoopError: if the invariant is broken.
+    """
+    destinations: set[NodeId] = set()
+    if destination is not None:
+        destinations.add(destination)
+    else:
+        for router in routers.values():
+            destinations.update(router.successor_sets)
+
+    for j in destinations:
+        feasible = {
+            i: router.feasible_distance.get(j, INFINITY)
+            for i, router in routers.items()
+            if i != j
+        }
+        reported = {
+            i: {
+                k: router.neighbor_distance(k, j)
+                for k in router.up_neighbors()
+            }
+            for i, router in routers.items()
+        }
+        successors = {
+            i: router.successors(j) for i, router in routers.items()
+        }
+        check_lfi(j, feasible, reported, successors)
+
+        # Eq. (16) cross-check: FD_j^i <= (i's distance to j as held at
+        # every neighbor k).
+        for i, router in routers.items():
+            if i == j:
+                continue
+            fd = feasible[i]
+            if fd == INFINITY:
+                continue
+            for k in router.up_neighbors():
+                peer = routers.get(k)
+                if peer is None or i not in peer.link_costs:
+                    continue
+                held = peer.neighbor_distance(i, j)
+                if fd > held + 1e-12:
+                    raise LoopError(
+                        f"router {i!r}: FD to {j!r} is {fd!r} but neighbor "
+                        f"{k!r} holds distance {held!r} (Eq. 16 violated)"
+                    )

@@ -1,0 +1,224 @@
+"""PDA — the Partial-topology Dissemination Algorithm (Figs. 1-3).
+
+Each router maintains its own shortest-path tree ``T_i`` (the *main
+topology table*) and a per-neighbor table ``T_k_i``, a time-delayed copy
+of neighbor *k*'s tree.  On every event (an LSU from a neighbor, or an
+adjacent-link change) the router runs:
+
+- **NTU** (Neighbor Topology-table Update, Fig. 2): apply the LSU to the
+  neighbor's table and recompute that neighbor's distances by running
+  Dijkstra rooted at the neighbor;
+- **MTU** (Main Topology-table Update, Fig. 3): merge the neighbor trees —
+  for each known node *j*, copy *j*'s outgoing links from the *preferred
+  neighbor* ``p`` minimizing :math:`D^i_{jp} + l^i_p` (conflicts between
+  neighbors are resolved by distance to the head of the link, not by
+  sequence numbers), override adjacent links with locally measured costs,
+  run Dijkstra, and keep only the tree.  Differences from the previous
+  tree are flooded to the neighbors as LSU entries.
+
+PDA converges to correct shortest paths a finite time after the last
+change (Theorem 2, proved via n-hop minimum trees).  Routers here are
+transport-agnostic: outgoing messages accumulate in ``outbox`` and a
+driver (:mod:`repro.core.driver` or the packet simulator) delivers them.
+"""
+
+from __future__ import annotations
+
+from repro.core.linkstate import INFINITY, LSUMessage, TopologyTable
+from repro.exceptions import RoutingError
+from repro.graph.shortest_paths import dijkstra_tree
+from repro.graph.topology import NodeId
+
+
+class PDARouter:
+    """One router running PDA.
+
+    Public event entry points (each may queue messages on ``outbox``):
+
+    - :meth:`link_up` — an adjacent link came up (or a router boots and
+      discovers its neighbor);
+    - :meth:`link_cost_change` — the measured cost of an adjacent link
+      changed (this is how marginal-delay updates enter the protocol);
+    - :meth:`link_down` — an adjacent link failed;
+    - :meth:`receive` — an LSU message arrived from a neighbor.
+
+    Attributes:
+        outbox: queued ``(neighbor, LSUMessage)`` pairs for the driver.
+        mtu_runs / lsu_sent / lsu_received: protocol statistics.
+    """
+
+    def __init__(self, node_id: NodeId) -> None:
+        self.node_id = node_id
+        self.main_table = TopologyTable()
+        self.neighbor_tables: dict[NodeId, TopologyTable] = {}
+        self.link_costs: dict[NodeId, float] = {}
+        self.distances: dict[NodeId, float] = {}
+        #: nbr_distances[k][j] = D^i_jk, distance k -> j in this router's
+        #: copy of k's topology (NTU step 1c).
+        self.nbr_distances: dict[NodeId, dict[NodeId, float]] = {}
+        self.outbox: list[tuple[NodeId, LSUMessage]] = []
+        self.mtu_runs = 0
+        self.lsu_sent = 0
+        self.lsu_received = 0
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def link_up(self, neighbor: NodeId, cost: float) -> None:
+        """Adjacent link to ``neighbor`` came up with measured cost ``cost``."""
+        self._check_cost(neighbor, cost)
+        self.link_costs[neighbor] = cost
+        self.neighbor_tables.setdefault(neighbor, TopologyTable())
+        self.nbr_distances.setdefault(neighbor, {neighbor: 0.0})
+        self._greet(neighbor)
+        self._after_ntu(lsu_sender=None)
+
+    def _greet(self, neighbor: NodeId) -> None:
+        """NTU step 2: greet a new neighbor with the full main table."""
+        dump = self.main_table.full_dump()
+        if dump:
+            self._send(neighbor, LSUMessage(self.node_id, dump))
+
+    def link_cost_change(self, neighbor: NodeId, cost: float) -> None:
+        """The measured cost of the adjacent link changed (NTU step 3)."""
+        self._check_cost(neighbor, cost)
+        if neighbor not in self.link_costs:
+            raise RoutingError(
+                f"{self.node_id!r}: cost change for unknown link to "
+                f"{neighbor!r}"
+            )
+        self.link_costs[neighbor] = cost
+        self._after_ntu(lsu_sender=None)
+
+    def link_down(self, neighbor: NodeId) -> None:
+        """Adjacent link failed (NTU step 4): clear the neighbor's table."""
+        self.link_costs.pop(neighbor, None)
+        self.neighbor_tables.pop(neighbor, None)
+        self.nbr_distances.pop(neighbor, None)
+        self._after_ntu(lsu_sender=None)
+
+    def receive(self, message: LSUMessage) -> None:
+        """An LSU arrived from a (current) neighbor."""
+        sender = message.sender
+        self.lsu_received += 1
+        if sender not in self.link_costs:
+            # Stale message from a link that has since failed; the paper's
+            # delivery assumptions make this impossible, but drivers that
+            # inject failures may race — drop it.
+            return
+        self._ntu_apply_lsu(message)
+        self._after_ntu(lsu_sender=sender)
+
+    # ------------------------------------------------------------------
+    # NTU / MTU internals
+    # ------------------------------------------------------------------
+    def _ntu_apply_lsu(self, message: LSUMessage) -> None:
+        """NTU step 1: apply entries and recompute the sender's distances."""
+        sender = message.sender
+        table = self.neighbor_tables.setdefault(sender, TopologyTable())
+        table.apply(message.entries)
+        self.nbr_distances[sender] = table.distances_from(sender)
+        self.nbr_distances[sender].setdefault(sender, 0.0)
+
+    def _after_ntu(self, lsu_sender: NodeId | None) -> None:
+        """The tail of procedure PDA: MTU, then flood any differences."""
+        changes = self._mtu()
+        if changes:
+            self._broadcast(changes)
+
+    def _universe(self) -> list[NodeId]:
+        """Every node this router has heard of."""
+        known: dict[NodeId, None] = {self.node_id: None}
+        for nbr in self.link_costs:
+            known[nbr] = None
+        for table in self.neighbor_tables.values():
+            for node in table.nodes():
+                known[node] = None
+        return list(known)
+
+    def _mtu(self):
+        """MTU (Fig. 3): rebuild the main table; return the LSU diff."""
+        self.mtu_runs += 1
+        old = self.main_table
+        universe = self._universe()
+
+        # Steps 3-4: preferred neighbor per head node, copy its links.
+        candidate: dict[tuple[NodeId, NodeId], float] = {}
+        up = [n for n in self.link_costs if self.link_costs[n] < INFINITY]
+        for j in universe:
+            if j == self.node_id:
+                continue
+            best: NodeId | None = None
+            best_val = INFINITY
+            for k in up:
+                dist_kj = self.nbr_distances.get(k, {}).get(j, INFINITY)
+                val = dist_kj + self.link_costs[k]
+                if val < best_val or (
+                    val == best_val
+                    and best is not None
+                    and repr(k) < repr(best)
+                ):
+                    best, best_val = k, val
+            if best is None or best_val == INFINITY:
+                continue
+            candidate.update(self.neighbor_tables[best].links_with_head(j))
+
+        # Step 5: adjacent links override anything neighbors reported.
+        for k in up:
+            candidate[(self.node_id, k)] = self.link_costs[k]
+
+        # Steps 6-7: keep only the shortest-path tree; update distances.
+        dist, tree = dijkstra_tree(candidate, self.node_id, nodes=universe)
+        self.main_table = TopologyTable(tree)
+        self.distances = dist
+
+        # Step 8: differences to flood.
+        return old.diff(self.main_table)
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+    def _send(self, neighbor: NodeId, message: LSUMessage) -> None:
+        self.outbox.append((neighbor, message))
+        self.lsu_sent += 1
+
+    def _broadcast(self, entries, ack_to: NodeId | None = None) -> None:
+        """Send ``entries`` to every up neighbor (ACK flag to ``ack_to``)."""
+        for nbr in self.link_costs:
+            self._send(
+                nbr,
+                LSUMessage(
+                    self.node_id, tuple(entries), ack=(nbr == ack_to)
+                ),
+            )
+
+    @staticmethod
+    def _check_cost(neighbor: NodeId, cost: float) -> None:
+        if not cost > 0 or cost == INFINITY:
+            raise RoutingError(
+                f"adjacent link cost to {neighbor!r} must be positive and "
+                f"finite, got {cost!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def distance_to(self, destination: NodeId) -> float:
+        """:math:`D^i_j` — this router's distance to ``destination``."""
+        if destination == self.node_id:
+            return 0.0
+        return self.distances.get(destination, INFINITY)
+
+    def neighbor_distance(self, neighbor: NodeId, destination: NodeId) -> float:
+        """:math:`D^i_{jk}` — ``neighbor``'s distance to ``destination``
+        according to this router's copy of its topology."""
+        if neighbor == destination:
+            return 0.0
+        return self.nbr_distances.get(neighbor, {}).get(destination, INFINITY)
+
+    def up_neighbors(self) -> list[NodeId]:
+        """Neighbors with an operational adjacent link."""
+        return list(self.link_costs)
+
+    def __repr__(self) -> str:
+        return f"PDARouter({self.node_id!r})"

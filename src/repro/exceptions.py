@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch library failures without
+catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A topology is malformed or an operation references a missing element."""
+
+
+class RoutingError(ReproError):
+    """A routing computation was asked to do something inconsistent."""
+
+
+class LoopError(RoutingError):
+    """A successor graph that must be loop-free contains a cycle.
+
+    Raised by safety monitors; if this ever fires during an MPDA run it
+    means the Loop-Free Invariant (Theorem 1 of the paper) was violated.
+    """
+
+
+class CapacityError(ReproError):
+    """A link flow meets or exceeds link capacity where that is not allowed."""
+
+
+class AllocationError(RoutingError):
+    """Routing parameters violate Property 1 of the paper."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its budget."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven into an invalid state."""

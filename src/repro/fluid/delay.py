@@ -1,0 +1,246 @@
+"""The paper's link-delay law and its derivatives.
+
+Links are modeled as M/M/1 queues plus a propagation term (Eq. 24):
+
+.. math::
+
+    D_{ik}(f_{ik}) = \\frac{f_{ik}}{C_{ik} - f_{ik}} + \\tau_{ik} f_{ik}
+
+where :math:`f` is the link flow and :math:`C` the capacity, both in
+packets/s, and :math:`\\tau` the propagation delay in seconds.  By Little's
+law the first term is the expected number of messages in the system, so
+:math:`D` has units of *delay-rate* (seconds of delay accumulated per
+second); the total network delay measure is :math:`D_T = \\sum D_{ik}`
+(Eq. 3), and the delay experienced per unit of traffic on the link is
+:math:`D(f)/f = 1/(C-f) + \\tau`.
+
+The marginal (incremental) delay — the paper's link cost — is
+
+.. math::
+
+    D'_{ik}(f) = \\frac{C}{(C-f)^2} + \\tau .
+
+As the paper notes, Eq. (24) "becomes unstable when :math:`f`
+approaches :math:`C`"; iterative optimizers need finite values beyond
+capacity, so :class:`MM1Delay` extends the law quadratically above a
+utilization knee ``rho_max`` (keeping value, slope and curvature
+continuous).  Exact (un-extended) evaluation is available via
+``strict=True``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.exceptions import CapacityError, TopologyError
+from repro.graph.topology import LinkId, Topology
+
+INFINITY = float("inf")
+
+#: Default utilization knee above which the quadratic extension applies.
+DEFAULT_RHO_MAX = 0.98
+
+
+@dataclass(frozen=True)
+class MM1Delay:
+    """The delay law of one link: M/M/1 queueing plus propagation.
+
+    Attributes:
+        capacity: link capacity :math:`C` in packets/s.
+        prop_delay: propagation delay :math:`\\tau` in seconds.
+        rho_max: utilization where the quadratic extension takes over.
+        queue_limit: optional output-buffer size in packets.  When set,
+            the *per-unit* delay saturates at the full-buffer waiting
+            time ``(queue_limit + 1) / C`` — what a packet actually
+            experiences on a real router during overload epochs.  The
+            delay-rate value and its derivatives stay unbounded/convex
+            (optimizers must keep seeing the true gradient).
+    """
+
+    capacity: float
+    prop_delay: float = 0.0
+    rho_max: float = DEFAULT_RHO_MAX
+    queue_limit: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise CapacityError(f"capacity must be positive: {self.capacity!r}")
+        if not 0.0 < self.rho_max < 1.0:
+            raise CapacityError(f"rho_max must be in (0, 1): {self.rho_max!r}")
+        if self.queue_limit is not None and self.queue_limit <= 0:
+            raise CapacityError(
+                f"queue_limit must be positive: {self.queue_limit!r}"
+            )
+
+    @property
+    def knee(self) -> float:
+        """Flow value at which the extension begins."""
+        return self.rho_max * self.capacity
+
+    # -- exact law -----------------------------------------------------
+    def _exact_value(self, f: float) -> float:
+        return f / (self.capacity - f) + self.prop_delay * f
+
+    def _exact_marginal(self, f: float) -> float:
+        c = self.capacity
+        return c / (c - f) ** 2 + self.prop_delay
+
+    def _exact_second(self, f: float) -> float:
+        c = self.capacity
+        return 2.0 * c / (c - f) ** 3
+
+    # -- public surface ------------------------------------------------
+    def value(self, f: float, strict: bool = False) -> float:
+        """Delay-rate :math:`D(f)`.
+
+        With ``strict=True`` the pure M/M/1 law is used and flows at or
+        above capacity yield ``inf``; otherwise the quadratic extension
+        keeps the value finite (and still convex) above the knee.
+        """
+        self._check_flow(f)
+        if strict:
+            return self._exact_value(f) if f < self.capacity else INFINITY
+        knee = self.knee
+        if f <= knee:
+            return self._exact_value(f)
+        df = f - knee
+        return (
+            self._exact_value(knee)
+            + self._exact_marginal(knee) * df
+            + 0.5 * self._exact_second(knee) * df * df
+        )
+
+    def marginal(self, f: float, strict: bool = False) -> float:
+        """Marginal delay :math:`D'(f)` — the paper's link cost.
+
+        With a finite ``queue_limit``, the cost saturates at the
+        full-buffer waiting time: once the buffer is pinned, adding a
+        packet costs at most one buffer drain.  This matches what any
+        measurement-based estimator can report on a real router and
+        keeps route updates bounded under overload.
+        """
+        self._check_flow(f)
+        if strict:
+            return self._exact_marginal(f) if f < self.capacity else INFINITY
+        knee = self.knee
+        if f <= knee:
+            raw = self._exact_marginal(f)
+        else:
+            raw = self._exact_marginal(knee) + self._exact_second(knee) * (
+                f - knee
+            )
+        if self.queue_limit is not None:
+            cap = (self.queue_limit + 1.0) / self.capacity + self.prop_delay
+            return min(raw, cap)
+        return raw
+
+    def second(self, f: float, strict: bool = False) -> float:
+        """Second derivative :math:`D''(f)` (used by curvature-aware steps)."""
+        self._check_flow(f)
+        if strict:
+            return self._exact_second(f) if f < self.capacity else INFINITY
+        return self._exact_second(min(f, self.knee))
+
+    def per_unit(self, f: float, strict: bool = False) -> float:
+        """Delay per unit of traffic, :math:`D(f)/f = 1/(C-f) + \\tau`.
+
+        Well defined at :math:`f = 0` (the idle per-bit delay) and, in the
+        non-strict form, finite everywhere.
+        """
+        self._check_flow(f)
+        if strict:
+            if f >= self.capacity:
+                return INFINITY
+            return 1.0 / (self.capacity - f) + self.prop_delay
+        knee = self.knee
+        if f <= knee:
+            waiting = 1.0 / (self.capacity - f)
+        else:
+            # Consistent with the extended value(): D(f)/f.
+            waiting = self.value(f) / f - self.prop_delay
+        if self.queue_limit is not None:
+            waiting = min(
+                waiting, (self.queue_limit + 1.0) / self.capacity
+            )
+        return waiting + self.prop_delay
+
+    def utilization(self, f: float) -> float:
+        """Link utilization :math:`\\rho = f / C`."""
+        self._check_flow(f)
+        return f / self.capacity
+
+    @staticmethod
+    def _check_flow(f: float) -> None:
+        if f < 0:
+            raise CapacityError(f"negative link flow: {f!r}")
+
+
+@dataclass
+class DelayModel:
+    """Per-link delay laws for a whole topology."""
+
+    functions: dict[LinkId, MM1Delay] = field(default_factory=dict)
+
+    @classmethod
+    def for_topology(
+        cls,
+        topo: Topology,
+        rho_max: float = DEFAULT_RHO_MAX,
+        queue_limit: float | None = None,
+    ) -> "DelayModel":
+        """Build the model from each link's capacity and propagation delay."""
+        return cls(
+            {
+                ln.link_id: MM1Delay(
+                    ln.capacity, ln.prop_delay, rho_max, queue_limit
+                )
+                for ln in topo.links()
+            }
+        )
+
+    def __getitem__(self, link_id: LinkId) -> MM1Delay:
+        try:
+            return self.functions[link_id]
+        except KeyError:
+            head, tail = link_id
+            raise TopologyError(
+                f"no delay law for link {head!r}->{tail!r}"
+            ) from None
+
+    def __contains__(self, link_id: LinkId) -> bool:
+        return link_id in self.functions
+
+    def total_delay(
+        self, flows: Mapping[LinkId, float], strict: bool = False
+    ) -> float:
+        """:math:`D_T = \\sum_{(i,k)} D_{ik}(f_{ik})` (Eq. 3)."""
+        return sum(
+            self[link_id].value(f, strict=strict)
+            for link_id, f in flows.items()
+        )
+
+    def marginals(
+        self, flows: Mapping[LinkId, float], strict: bool = False
+    ) -> dict[LinkId, float]:
+        """Marginal delay of every link in ``flows`` — a routing cost map.
+
+        Links of the model absent from ``flows`` are treated as idle.
+        """
+        costs = {
+            link_id: fn.marginal(0.0) for link_id, fn in self.functions.items()
+        }
+        for link_id, f in flows.items():
+            costs[link_id] = self[link_id].marginal(f, strict=strict)
+        return costs
+
+    def per_unit_delays(
+        self, flows: Mapping[LinkId, float], strict: bool = False
+    ) -> dict[LinkId, float]:
+        """Per-unit-traffic delay of every link (used for per-flow delays)."""
+        delays = {
+            link_id: fn.per_unit(0.0) for link_id, fn in self.functions.items()
+        }
+        for link_id, f in flows.items():
+            delays[link_id] = self[link_id].per_unit(f, strict=strict)
+        return delays

@@ -1,0 +1,327 @@
+"""Evaluate routing parameters against a traffic matrix.
+
+Given routing parameters :math:`\\phi^i_{jk}` (fraction of the traffic at
+router *i* destined to *j* that leaves over link *(i, k)*), this module
+computes the chain of quantities in Section 2.1 of the paper:
+
+- node flows :math:`t^i_j = r^i_j + \\sum_k t^k_j \\phi^k_{ji}` (Eq. 1),
+- link flows :math:`f_{ik} = \\sum_j t^i_j \\phi^i_{jk}` (Eq. 2),
+- total delay :math:`D_T = \\sum_{(i,k)} D_{ik}(f_{ik})` (Eq. 3),
+- per-flow expected delays (what the paper's figures plot).
+
+When the routing graph for a destination is loop-free (which every
+algorithm in this library guarantees), node flows are computed exactly in
+one pass over a topological order; :func:`node_flows_iterative` is the
+fallback for arbitrary (possibly cyclic) parameters, used to study what
+transient loops would do to delays.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.exceptions import AllocationError, ConvergenceError, RoutingError
+from repro.fluid.delay import DelayModel
+from repro.fluid.flows import TrafficMatrix
+from repro.graph.topology import LinkId, NodeId, Topology
+from repro.graph.validation import successor_graph_order
+
+#: phi[i][j][k]: at router i, fraction of traffic for destination j
+#: forwarded to neighbor k.
+Phi = Mapping[NodeId, Mapping[NodeId, Mapping[NodeId, float]]]
+
+#: Traffic below this rate (packets/s) is treated as zero.
+FLOW_EPSILON = 1e-9
+
+#: Tolerated normalization error on a router's routing parameters.
+NORMALIZATION_TOLERANCE = 1e-6
+
+
+def _fractions(
+    phi: Phi, node: NodeId, destination: NodeId
+) -> dict[NodeId, float]:
+    """Validated, normalized routing fractions of ``node`` toward ``destination``.
+
+    Empty when the router has no entry (it then must carry no traffic for
+    the destination).  Enforces Property 1: non-negative, summing to one.
+    """
+    per_dest = phi.get(node)
+    if per_dest is None:
+        return {}
+    raw = per_dest.get(destination)
+    if not raw:
+        return {}
+    total = 0.0
+    for nbr, fraction in raw.items():
+        if fraction < -NORMALIZATION_TOLERANCE:
+            raise AllocationError(
+                f"phi[{node!r}][{destination!r}][{nbr!r}] = {fraction!r} < 0"
+            )
+        total += max(fraction, 0.0)
+    if total == 0.0:
+        return {}
+    if abs(total - 1.0) > NORMALIZATION_TOLERANCE:
+        raise AllocationError(
+            f"phi[{node!r}][{destination!r}] sums to {total!r}, expected 1"
+        )
+    return {
+        nbr: max(fraction, 0.0) / total
+        for nbr, fraction in raw.items()
+        if fraction > 0.0
+    }
+
+
+def destination_successors(
+    phi: Phi, destination: NodeId
+) -> dict[NodeId, list[NodeId]]:
+    """Successor sets implied by the routing parameters (Eq. 9)."""
+    return {
+        node: list(_fractions(phi, node, destination))
+        for node in phi
+        if node != destination
+    }
+
+
+def node_flows(
+    phi: Phi,
+    rates: Mapping[NodeId, float],
+    destination: NodeId,
+) -> dict[NodeId, float]:
+    """Node flows :math:`t^i_j` for one destination (Eq. 1), exact on DAGs.
+
+    Args:
+        phi: routing parameters.
+        rates: input rates :math:`r^i_j` toward ``destination``.
+        destination: the destination *j*.
+
+    Raises:
+        LoopError: if the successor graph for ``destination`` is cyclic.
+        RoutingError: if traffic reaches a router with no successors.
+    """
+    successors = destination_successors(phi, destination)
+    order = successor_graph_order(successors, destination)
+
+    flows: dict[NodeId, float] = {node: 0.0 for node in order}
+    for node, rate in rates.items():
+        if node == destination or rate <= 0:
+            continue
+        if node not in flows:
+            raise RoutingError(
+                f"traffic enters at {node!r} but no routing parameters exist"
+            )
+        flows[node] += rate
+
+    for node in order:
+        if node == destination:
+            continue
+        t = flows[node]
+        if t <= FLOW_EPSILON:
+            continue
+        fractions = _fractions(phi, node, destination)
+        if not fractions:
+            raise RoutingError(
+                f"router {node!r} carries {t:.3g} pkt/s for {destination!r} "
+                "but has no successors (black hole)"
+            )
+        for nbr, fraction in fractions.items():
+            flows[nbr] = flows.get(nbr, 0.0) + t * fraction
+    return flows
+
+
+def node_flows_iterative(
+    phi: Phi,
+    rates: Mapping[NodeId, float],
+    destination: NodeId,
+    *,
+    tolerance: float = 1e-9,
+    max_iterations: int = 10_000,
+) -> dict[NodeId, float]:
+    """Node flows by fixed-point iteration; tolerates cyclic parameters.
+
+    Solves :math:`t = r + \\Phi^{\\top} t` by repeated substitution.  With a
+    traffic-recirculating loop the series diverges and a
+    :class:`~repro.exceptions.ConvergenceError` is raised — mirroring the
+    paper's observation that "even temporary loops cause traffic to
+    recirculate" and corrupt delay computations.
+    """
+    nodes: set[NodeId] = set(phi) | set(rates) | {destination}
+    flows = {
+        node: (rates.get(node, 0.0) if node != destination else 0.0)
+        for node in nodes
+    }
+    base = dict(flows)
+    for _ in range(max_iterations):
+        nxt = dict(base)
+        for node in nodes:
+            if node == destination:
+                continue
+            t = flows[node]
+            if t <= FLOW_EPSILON:
+                continue
+            for nbr, fraction in _fractions(phi, node, destination).items():
+                if nbr == destination:
+                    continue
+                nxt[nbr] = nxt.get(nbr, 0.0) + t * fraction
+        drift = max(
+            abs(nxt.get(n, 0.0) - flows.get(n, 0.0)) for n in nodes
+        )
+        flows = nxt
+        if drift <= tolerance:
+            # Add the destination's received traffic for parity with
+            # node_flows(): t at j counts what arrives there.
+            arrived = 0.0
+            for node in nodes:
+                if node == destination:
+                    continue
+                frac = _fractions(phi, node, destination).get(destination, 0.0)
+                arrived += flows.get(node, 0.0) * frac
+            flows[destination] = arrived
+            return flows
+    raise ConvergenceError(
+        f"node flows for destination {destination!r} did not converge; "
+        "routing parameters likely contain a traffic-recirculating loop"
+    )
+
+
+def link_flows(phi: Phi, traffic: TrafficMatrix) -> dict[LinkId, float]:
+    """Link flows :math:`f_{ik}` (Eq. 2) summed over all destinations."""
+    flows: dict[LinkId, float] = {}
+    for destination in traffic.destinations():
+        rates = traffic.rates_to(destination)
+        node_t = node_flows(phi, rates, destination)
+        for node, t in node_t.items():
+            if node == destination or t <= FLOW_EPSILON:
+                continue
+            for nbr, fraction in _fractions(phi, node, destination).items():
+                link_id = (node, nbr)
+                flows[link_id] = flows.get(link_id, 0.0) + t * fraction
+    return flows
+
+
+def flow_delays(
+    phi: Phi,
+    traffic: TrafficMatrix,
+    per_unit_delay: Mapping[LinkId, float],
+) -> dict[str, float]:
+    """Expected end-to-end delay of each flow, in seconds.
+
+    For destination *j*, the expected remaining delay from router *i*
+    satisfies :math:`W_j(i) = \\sum_k \\phi^i_{jk}\\,(w_{ik} + W_j(k))`
+    with :math:`W_j(j) = 0`, where :math:`w_{ik}` is the per-unit link
+    delay.  Evaluated downstream-first on the routing DAG.
+    """
+    delays: dict[str, float] = {}
+    cache: dict[NodeId, dict[NodeId, float]] = {}
+    for flow in traffic.flows:
+        destination = flow.destination
+        if destination not in cache:
+            cache[destination] = _remaining_delays(
+                phi, destination, per_unit_delay
+            )
+        remaining = cache[destination]
+        if flow.source not in remaining:
+            raise RoutingError(
+                f"flow {flow.label()}: no route from {flow.source!r} "
+                f"to {destination!r}"
+            )
+        delays[flow.label()] = remaining[flow.source]
+    return delays
+
+
+def _remaining_delays(
+    phi: Phi,
+    destination: NodeId,
+    per_unit_delay: Mapping[LinkId, float],
+) -> dict[NodeId, float]:
+    successors = destination_successors(phi, destination)
+    order = successor_graph_order(successors, destination)
+    remaining: dict[NodeId, float] = {destination: 0.0}
+    for node in reversed(order):
+        if node == destination:
+            continue
+        fractions = _fractions(phi, node, destination)
+        if not fractions:
+            continue  # carries no traffic; skip rather than invent a value
+        total = 0.0
+        for nbr, fraction in fractions.items():
+            try:
+                w_link = per_unit_delay[(node, nbr)]
+            except KeyError:
+                raise RoutingError(
+                    f"no delay for link {node!r}->{nbr!r}"
+                ) from None
+            down = remaining.get(nbr)
+            if down is None:
+                raise RoutingError(
+                    f"successor {nbr!r} of {node!r} has no route to "
+                    f"{destination!r}"
+                )
+            total += fraction * (w_link + down)
+        remaining[node] = total
+    return remaining
+
+
+@dataclass
+class FluidEvaluation:
+    """Everything the fluid model says about one routing configuration."""
+
+    link_flows: dict[LinkId, float]
+    total_delay: float
+    average_delay: float
+    flow_delays: dict[str, float] = field(default_factory=dict)
+    utilizations: dict[LinkId, float] = field(default_factory=dict)
+
+    @property
+    def max_utilization(self) -> float:
+        """Utilization of the most loaded link (0 when idle)."""
+        return max(self.utilizations.values(), default=0.0)
+
+    def flow_delays_ms(self) -> dict[str, float]:
+        """Per-flow delays in milliseconds, as the paper's figures plot."""
+        return {name: 1e3 * d for name, d in self.flow_delays.items()}
+
+
+def evaluate(
+    topo: Topology,
+    phi: Phi,
+    traffic: TrafficMatrix,
+    delay_model: DelayModel | None = None,
+    *,
+    strict: bool = False,
+) -> FluidEvaluation:
+    """Full fluid evaluation of ``phi`` under ``traffic``.
+
+    Args:
+        topo: the network (capacities and propagation delays).
+        phi: routing parameters.
+        traffic: input rates.
+        delay_model: optional pre-built delay laws (defaults to M/M/1
+            from the topology).
+        strict: if True, flows at or above capacity produce infinite
+            delays instead of the stabilized extension.
+
+    Returns:
+        A :class:`FluidEvaluation` with link flows, :math:`D_T`, the
+        average per-unit delay :math:`D_T / \\sum r`, per-flow delays and
+        link utilizations.
+    """
+    traffic.validate_against(topo)
+    model = delay_model or DelayModel.for_topology(topo)
+    f = link_flows(phi, traffic)
+    total = model.total_delay(f, strict=strict)
+    rate = traffic.total_rate()
+    average = total / rate if rate > 0 else 0.0
+    per_unit = model.per_unit_delays(f, strict=strict)
+    per_flow = flow_delays(phi, traffic, per_unit)
+    utilizations = {
+        link_id: model[link_id].utilization(value)
+        for link_id, value in f.items()
+    }
+    return FluidEvaluation(
+        link_flows=f,
+        total_delay=total,
+        average_delay=average,
+        flow_delays=per_flow,
+        utilizations=utilizations,
+    )

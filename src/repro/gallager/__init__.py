@@ -1,0 +1,23 @@
+"""Gallager's minimum-delay routing algorithm (the paper's OPT baseline).
+
+Implements the distributed computation of Section 2 in centralized form
+(the form the paper uses to obtain lower bounds under stationary
+traffic): marginal distances (Eq. 5), the necessary/sufficient optimality
+conditions (Eqs. 6-7), the blocking technique that keeps the routing
+graph loop-free across iterations, and the gradient-projection update
+with the global step size :math:`\\eta` whose criticality the paper
+discusses at length.
+"""
+
+from repro.gallager.marginals import marginal_distances, optimality_gap
+from repro.gallager.blocking import blocked_nodes
+from repro.gallager.opt import GallagerResult, optimize, shortest_path_phi
+
+__all__ = [
+    "marginal_distances",
+    "optimality_gap",
+    "blocked_nodes",
+    "GallagerResult",
+    "optimize",
+    "shortest_path_phi",
+]

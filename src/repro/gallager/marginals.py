@@ -1,0 +1,145 @@
+"""Marginal distances and Gallager's optimality conditions.
+
+For destination *j*, the marginal distance of router *i* is
+:math:`\\delta_{ij} = \\partial D_T / \\partial r_{ij}` and satisfies the
+recursion (Eq. 4 rearranged):
+
+.. math::
+
+    \\delta_{ij} = \\sum_k \\phi_{ijk}\\,(D'_{ik}(f_{ik}) + \\delta_{kj}),
+    \\qquad \\delta_{jj} = 0 .
+
+On a loop-free routing graph this evaluates exactly in one pass,
+downstream-first.  Gallager's Theorem then characterizes a minimum of
+:math:`D_T`: traffic flows only through neighbors whose
+:math:`D'_{ik} + \\delta_{kj}` is minimal, and that minimum equals
+:math:`\\delta_{ij}` (Eqs. 6-7).  :func:`optimality_gap` measures how
+far a routing is from satisfying those conditions — the test suite uses
+it to verify OPT actually converges to an optimum.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.exceptions import RoutingError
+from repro.fluid.delay import DelayModel
+from repro.fluid.evaluator import (
+    FLOW_EPSILON,
+    Phi,
+    destination_successors,
+    link_flows,
+    node_flows,
+)
+from repro.fluid.flows import TrafficMatrix
+from repro.graph.topology import LinkId, NodeId, Topology
+from repro.graph.validation import successor_graph_order
+
+INFINITY = float("inf")
+
+
+def marginal_distances(
+    phi: Phi,
+    destination: NodeId,
+    link_costs: Mapping[LinkId, float],
+    *,
+    nodes: list[NodeId] | None = None,
+) -> dict[NodeId, float]:
+    """:math:`\\delta_{ij}` for every router toward one destination.
+
+    Args:
+        phi: routing parameters (must be loop-free for ``destination``).
+        destination: the destination *j*.
+        link_costs: marginal link delays :math:`D'_{ik}`.
+        nodes: optional full node universe; nodes with no successors get
+            an infinite marginal distance (no usable route).
+    """
+    successors = destination_successors(phi, destination)
+    order = successor_graph_order(successors, destination)
+    delta: dict[NodeId, float] = {destination: 0.0}
+    for node in reversed(order):
+        if node == destination:
+            continue
+        succ = successors.get(node, [])
+        if not succ:
+            continue
+        per_dest = phi[node][destination]
+        total = 0.0
+        norm = 0.0
+        for k in succ:
+            fraction = per_dest[k]
+            if fraction <= 0.0:
+                continue
+            try:
+                cost = link_costs[(node, k)]
+            except KeyError:
+                raise RoutingError(
+                    f"no marginal cost for link {node!r}->{k!r}"
+                ) from None
+            downstream = delta.get(k)
+            if downstream is None:
+                raise RoutingError(
+                    f"router {node!r} forwards toward {k!r} which has no "
+                    f"route to {destination!r}"
+                )
+            total += fraction * (cost + downstream)
+            norm += fraction
+        if norm > 0.0:
+            delta[node] = total / norm
+    if nodes is not None:
+        for node in nodes:
+            delta.setdefault(node, INFINITY)
+    return delta
+
+
+def optimality_gap(
+    topo: Topology,
+    phi: Phi,
+    traffic: TrafficMatrix,
+    delay_model: DelayModel | None = None,
+) -> float:
+    """Worst violation of Gallager's conditions, as a relative gap.
+
+    For each router *i* and destination *j* carrying traffic, compares
+    the largest marginal distance through a neighbor actually used
+    (:math:`\\phi > 0`) with the smallest available through any neighbor:
+
+    .. math::
+
+       gap = \\max_{i,j}\\; \\frac{\\max_{k: \\phi_{ijk} > 0} a_{ik} -
+       \\min_{k \\in N^i} a_{ik}}{\\min_{k \\in N^i} a_{ik}}
+
+    with :math:`a_{ik} = D'_{ik} + \\delta_{kj}`.  Zero at a minimum of
+    :math:`D_T` (Eqs. 6-7); small positive values mean near-optimal.
+    """
+    model = delay_model or DelayModel.for_topology(topo)
+    flows = link_flows(phi, traffic)
+    costs = model.marginals(flows)
+    worst = 0.0
+    for destination in traffic.destinations():
+        rates = traffic.rates_to(destination)
+        t = node_flows(phi, rates, destination)
+        delta = marginal_distances(phi, destination, costs)
+        for node in topo.nodes:
+            if node == destination:
+                continue
+            if t.get(node, 0.0) <= FLOW_EPSILON:
+                continue  # the conditions only bind where traffic flows
+            a = {
+                k: costs[(node, k)] + delta.get(k, INFINITY)
+                for k in topo.neighbors(node)
+            }
+            finite = [v for v in a.values() if v < INFINITY]
+            if not finite:
+                continue
+            best = min(finite)
+            used = [
+                a[k]
+                for k, fraction in phi[node][destination].items()
+                if fraction > 1e-12 and k in a
+            ]
+            if not used:
+                continue
+            gap = (max(used) - best) / best if best > 0 else 0.0
+            worst = max(worst, gap)
+    return worst

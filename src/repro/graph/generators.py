@@ -1,0 +1,114 @@
+"""Synthetic topology generators.
+
+Used by property-based tests (random connected networks) and by the
+protocol microbenchmarks (scaling MPDA with network size).  All
+generators take an explicit ``seed`` so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import TopologyError
+from repro.graph.topology import (
+    DEFAULT_CAPACITY,
+    DEFAULT_PROP_DELAY,
+    Topology,
+)
+
+
+def line(n: int, **link_kwargs: float) -> Topology:
+    """A chain ``0 - 1 - ... - n-1``."""
+    if n < 1:
+        raise TopologyError("line topology needs at least one node")
+    topo = Topology(f"line{n}")
+    topo.add_node(0)
+    for i in range(n - 1):
+        topo.add_duplex_link(i, i + 1, **link_kwargs)
+    return topo
+
+
+def ring(n: int, **link_kwargs: float) -> Topology:
+    """A cycle of ``n >= 3`` nodes — the smallest multipath network."""
+    if n < 3:
+        raise TopologyError("ring topology needs at least three nodes")
+    topo = Topology(f"ring{n}")
+    for i in range(n):
+        topo.add_duplex_link(i, (i + 1) % n, **link_kwargs)
+    return topo
+
+
+def grid(rows: int, cols: int, **link_kwargs: float) -> Topology:
+    """A ``rows x cols`` mesh; node ids are ``(r, c)`` tuples."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid needs positive dimensions")
+    topo = Topology(f"grid{rows}x{cols}")
+    topo.add_node((0, 0))
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                topo.add_duplex_link((r, c), (r, c + 1), **link_kwargs)
+            if r + 1 < rows:
+                topo.add_duplex_link((r, c), (r + 1, c), **link_kwargs)
+    return topo
+
+
+def complete(n: int, **link_kwargs: float) -> Topology:
+    """The complete graph on ``n`` nodes."""
+    if n < 2:
+        raise TopologyError("complete graph needs at least two nodes")
+    topo = Topology(f"k{n}")
+    for i in range(n):
+        for j in range(i + 1, n):
+            topo.add_duplex_link(i, j, **link_kwargs)
+    return topo
+
+
+def random_connected(
+    n: int,
+    extra_links: int = 0,
+    seed: int = 0,
+    capacity: float = DEFAULT_CAPACITY,
+    prop_delay: float = DEFAULT_PROP_DELAY,
+    jitter: float = 0.0,
+) -> Topology:
+    """A random connected network on ``n`` nodes.
+
+    Builds a uniform random spanning tree (guaranteeing connectivity) and
+    then adds ``extra_links`` random chords.  ``jitter`` in ``[0, 1)``
+    randomizes capacities and delays by up to that relative amount, which
+    exercises the unequal-cost machinery.
+    """
+    if n < 1:
+        raise TopologyError("need at least one node")
+    if extra_links > n * (n - 1) // 2 - (n - 1):
+        raise TopologyError("more chords requested than the graph can hold")
+    rng = random.Random(seed)
+
+    def attrs() -> tuple[float, float]:
+        if jitter <= 0:
+            return capacity, prop_delay
+        scale_c = 1.0 + jitter * (2 * rng.random() - 1)
+        scale_d = 1.0 + jitter * (2 * rng.random() - 1)
+        return capacity * scale_c, prop_delay * scale_d
+
+    topo = Topology(f"rand{n}-{seed}")
+    topo.add_node(0)
+    order = list(range(n))
+    rng.shuffle(order)
+    attached = [order[0]]
+    topo.add_node(order[0])
+    for node in order[1:]:
+        anchor = rng.choice(attached)
+        cap, delay = attrs()
+        topo.add_duplex_link(node, anchor, capacity=cap, prop_delay=delay)
+        attached.append(node)
+
+    added = 0
+    while added < extra_links:
+        a, b = rng.sample(range(n), 2)
+        if not topo.has_link(a, b):
+            cap, delay = attrs()
+            topo.add_duplex_link(a, b, capacity=cap, prop_delay=delay)
+            added += 1
+    return topo

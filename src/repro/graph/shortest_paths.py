@@ -1,0 +1,233 @@
+"""Shortest-path algorithms built from scratch.
+
+The routing protocols in :mod:`repro.core` run Dijkstra's algorithm on
+partial topologies represented as plain ``{(head, tail): cost}`` mappings,
+so the functions here operate on such mappings rather than on
+:class:`~repro.graph.topology.Topology` objects.  Helpers convert between
+the two.
+
+Tie-breaking matters: the paper's PDA requires that "ties should be broken
+consistently during the run of Dijkstra's algorithm" so that all routers
+agree on preferred neighbors.  We break ties deterministically on the
+ordering of node representations, which is stable across routers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Mapping
+
+from repro.exceptions import RoutingError, TopologyError
+from repro.graph.topology import LinkId, NodeId, Topology
+
+INFINITY = float("inf")
+
+CostMap = Mapping[LinkId, float]
+
+
+def _adjacency(costs: CostMap) -> dict[NodeId, list[tuple[NodeId, float]]]:
+    """Out-adjacency lists from a link-cost map."""
+    adj: dict[NodeId, list[tuple[NodeId, float]]] = {}
+    for (head, tail), cost in costs.items():
+        if cost < 0:
+            raise RoutingError(
+                f"negative link cost {cost!r} on {head!r}->{tail!r}; "
+                "marginal delays are always positive"
+            )
+        adj.setdefault(head, []).append((tail, cost))
+        adj.setdefault(tail, [])
+    return adj
+
+
+def _tie_key(node: NodeId) -> str:
+    """A total order over node ids used for deterministic tie-breaking.
+
+    The paper breaks ties "in favor of the lower address"; sorting on the
+    repr gives every hashable node id a consistent address-like order.
+    """
+    return repr(node)
+
+
+def dijkstra(
+    costs: CostMap,
+    source: NodeId,
+    *,
+    nodes: list[NodeId] | None = None,
+) -> tuple[dict[NodeId, float], dict[NodeId, NodeId | None]]:
+    """Single-source shortest paths.
+
+    Args:
+        costs: link-cost map; only links present here are usable.
+        source: the root node.
+        nodes: optional extra node universe; nodes unreachable from
+            ``source`` get distance :data:`INFINITY` and predecessor None.
+
+    Returns:
+        ``(dist, pred)`` where ``dist[j]`` is the cost of the shortest path
+        ``source -> j`` and ``pred[j]`` the predecessor of ``j`` on it.
+    """
+    adj = _adjacency(costs)
+    universe: dict[NodeId, None] = {source: None}
+    for node in adj:
+        universe[node] = None
+    if nodes is not None:
+        for node in nodes:
+            universe[node] = None
+
+    dist: dict[NodeId, float] = {node: INFINITY for node in universe}
+    pred: dict[NodeId, NodeId | None] = {node: None for node in universe}
+    dist[source] = 0.0
+
+    counter = itertools.count()
+    heap: list[tuple[float, str, int, NodeId]] = [
+        (0.0, _tie_key(source), next(counter), source)
+    ]
+    done: set[NodeId] = set()
+    while heap:
+        d, _, _, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for nbr, cost in adj.get(node, ()):
+            alt = d + cost
+            if alt < dist[nbr] or (
+                alt == dist[nbr]
+                and pred[nbr] is not None
+                and _tie_key(node) < _tie_key(pred[nbr])
+            ):
+                # Strict improvement, or an equal-cost path through a
+                # lower-address predecessor: prefer it so every router
+                # resolves ties identically.
+                if alt < dist[nbr]:
+                    heapq.heappush(heap, (alt, _tie_key(nbr), next(counter), nbr))
+                dist[nbr] = alt
+                pred[nbr] = node
+    return dist, pred
+
+
+def dijkstra_tree(
+    costs: CostMap,
+    source: NodeId,
+    *,
+    nodes: list[NodeId] | None = None,
+) -> tuple[dict[NodeId, float], dict[LinkId, float]]:
+    """Shortest-path tree rooted at ``source``.
+
+    Returns ``(dist, tree)`` where ``tree`` maps the tree's links to their
+    costs — exactly what PDA's MTU step retains from the merged topology
+    ("remove those links that are not part of the shortest path tree").
+    """
+    dist, pred = dijkstra(costs, source, nodes=nodes)
+    tree: dict[LinkId, float] = {}
+    for node, parent in pred.items():
+        if parent is None:
+            continue
+        tree[(parent, node)] = costs[(parent, node)]
+    return dist, tree
+
+
+def bellman_ford(
+    costs: CostMap,
+    destination: NodeId,
+    *,
+    nodes: list[NodeId] | None = None,
+) -> dict[NodeId, float]:
+    """All-sources distance *to* ``destination`` (Eq. 13 of the paper).
+
+    This is the destination-oriented form :math:`D_j^i = \\min_k
+    (D_j^k + l_k^i)` that the routing framework is written in.
+    """
+    adj_in: dict[NodeId, list[tuple[NodeId, float]]] = {}
+    universe: dict[NodeId, None] = {destination: None}
+    for (head, tail), cost in costs.items():
+        if cost < 0:
+            raise RoutingError(
+                f"negative link cost {cost!r} on {head!r}->{tail!r}"
+            )
+        adj_in.setdefault(tail, []).append((head, cost))
+        universe[head] = None
+        universe[tail] = None
+    if nodes is not None:
+        for node in nodes:
+            universe[node] = None
+
+    dist = {node: INFINITY for node in universe}
+    dist[destination] = 0.0
+    # Dijkstra on the reversed graph; named bellman_ford for the equation it
+    # solves, but with non-negative costs the label-setting method is exact.
+    counter = itertools.count()
+    heap: list[tuple[float, str, int, NodeId]] = [
+        (0.0, _tie_key(destination), next(counter), destination)
+    ]
+    done: set[NodeId] = set()
+    while heap:
+        d, _, _, node = heapq.heappop(heap)
+        if node in done:
+            continue
+        done.add(node)
+        for nbr, cost in adj_in.get(node, ()):
+            alt = d + cost
+            if alt < dist[nbr]:
+                dist[nbr] = alt
+                heapq.heappush(heap, (alt, _tie_key(nbr), next(counter), nbr))
+    return dist
+
+
+def all_pairs_distances(costs: CostMap) -> dict[NodeId, dict[NodeId, float]]:
+    """``dist[i][j]`` for every ordered pair, via repeated Dijkstra."""
+    adj = _adjacency(costs)
+    return {node: dijkstra(costs, node)[0] for node in adj}
+
+
+def path_cost(costs: CostMap, path: list[NodeId]) -> float:
+    """Total cost of ``path`` (a node sequence) under ``costs``."""
+    if len(path) < 2:
+        return 0.0
+    total = 0.0
+    for head, tail in zip(path, path[1:]):
+        try:
+            total += costs[(head, tail)]
+        except KeyError:
+            raise RoutingError(f"path uses missing link {head!r}->{tail!r}")
+    return total
+
+
+def extract_path(
+    pred: Mapping[NodeId, NodeId | None], source: NodeId, target: NodeId
+) -> list[NodeId]:
+    """Reconstruct the path ``source -> target`` from a predecessor map."""
+    path = [target]
+    node = target
+    seen = {target}
+    while node != source:
+        parent = pred.get(node)
+        if parent is None:
+            raise RoutingError(f"{target!r} is unreachable from {source!r}")
+        if parent in seen:
+            raise RoutingError("predecessor map contains a cycle")
+        path.append(parent)
+        seen.add(parent)
+        node = parent
+    path.reverse()
+    return path
+
+
+def topology_costs(
+    topo: Topology, costs: CostMap | None = None
+) -> dict[LinkId, float]:
+    """Materialize a cost map for every link of ``topo``.
+
+    Missing entries default to the idle marginal delay ``1/C + tau``; extra
+    entries for links absent from the topology are rejected.
+    """
+    out = topo.idle_marginal_costs()
+    if costs is not None:
+        for link_id, cost in costs.items():
+            if link_id not in out:
+                head, tail = link_id
+                raise TopologyError(
+                    f"cost given for missing link {head!r}->{tail!r}"
+                )
+            out[link_id] = cost
+    return out

@@ -1,0 +1,148 @@
+"""The two topologies of the paper's simulation study: CAIRN and NET1.
+
+**CAIRN.**  The paper uses the *connectivity* of the CAIRN research network
+("we are only interested in the connectivity of CAIRN, and its topology as
+used differs from the real network in the capacities and propagation delays
+assumed"), with capacities capped at 10 Mb/s.  The paper conveys the link
+map only as a drawing, which our source text does not preserve, so this
+module reconstructs a CAIRN-like backbone over the exact 27 site names in
+the figure: a sparse, mostly chain-and-ring research network with a west
+coast ring, a southern-California cluster, two transcontinental trunks, an
+east coast mesh, and a transatlantic spur to UCL.  See DESIGN.md §4 for
+why this substitution preserves the experiments' character.
+
+**NET1.**  A contrived 10-node network; the paper states its constraints
+precisely — "The diameter of NET1 is four and the nodes have degrees
+between 3 and 5", connectivity "high enough to ensure the existence of
+multiple paths, and small enough to prevent a large number of one-hop
+paths" — and this module provides a fixed graph satisfying all of them
+(verified in tests).
+
+Both topologies come with the paper's source-destination flow pairs.
+"""
+
+from __future__ import annotations
+
+from repro.graph.topology import Topology
+from repro.units import mbps
+
+#: Capacity used for every link, matching the paper's 10 Mb/s cap
+#: (expressed in packets/s — see :mod:`repro.units`).
+LINK_CAPACITY = mbps(10)
+
+# Propagation delays in seconds, by rough link span.  The paper changed
+# CAIRN's real capacities and delays for the simulation; its reported
+# per-flow delays (0.5-3.5 ms) imply propagation well below queueing, so
+# the reconstruction uses sub-millisecond spans that keep the relative
+# geography (metro < regional < cross-country < transatlantic).
+_METRO = 0.1e-3
+_REGIONAL = 0.3e-3
+_CROSS_COUNTRY = 1e-3
+_TRANSATLANTIC = 2e-3
+
+#: CAIRN duplex links as (a, b, propagation delay).
+CAIRN_LINKS: list[tuple[str, str, float]] = [
+    # West coast ring (Bay Area).
+    ("ucsc", "ipsilon", _METRO),
+    ("ipsilon", "cisco-w", _METRO),
+    ("cisco-w", "parc", _METRO),
+    ("parc", "ucb", _METRO),
+    ("ucb", "sri", _METRO),
+    ("sri", "lbl", _METRO),
+    ("lbl", "ucsc", _REGIONAL),
+    ("parc", "sri", _METRO),
+    # Southern California cluster.
+    ("sri", "isi", _REGIONAL),
+    ("isi", "ucla", _METRO),
+    ("ucla", "sdsc", _REGIONAL),
+    ("isi", "sdsc", _REGIONAL),
+    ("sac", "sdsc", _REGIONAL),
+    ("sac", "ucla", _REGIONAL),
+    # Transcontinental trunks.
+    ("isi", "isi-e", _CROSS_COUNTRY),   # ISI Marina del Rey <-> ISI-East (VA)
+    ("sri", "anl", _CROSS_COUNTRY),
+    # Midwest.
+    ("anl", "netstar", _REGIONAL),
+    ("netstar", "tioc", _REGIONAL),
+    ("tioc", "anl", _REGIONAL),
+    ("anl", "cmu", _REGIONAL),
+    # East coast.
+    ("isi-e", "darpa", _METRO),
+    ("isi-e", "tis", _METRO),
+    ("darpa", "mci-r", _METRO),
+    ("mci-r", "bell", _REGIONAL),
+    ("bell", "bbn", _REGIONAL),
+    ("bbn", "mit", _METRO),
+    ("mit", "cmu", _REGIONAL),
+    ("darpa", "tis", _METRO),
+    ("tis", "udel", _REGIONAL),
+    ("udel", "bell", _REGIONAL),
+    ("darpa", "nrl-v6", _METRO),
+    ("nrl-v6", "nasa", _METRO),
+    ("nasa", "tis", _METRO),
+    ("cisco-e", "bbn", _METRO),
+    ("cisco-e", "mit", _METRO),
+    # Transatlantic spur.
+    ("ucl", "bbn", _TRANSATLANTIC),
+    ("ucl", "darpa", _TRANSATLANTIC),
+]
+
+#: The 11 CAIRN flows of Section 5 (source, destination).
+CAIRN_FLOW_PAIRS: list[tuple[str, str]] = [
+    ("lbl", "mci-r"),
+    ("netstar", "isi-e"),
+    ("isi", "darpa"),
+    ("parc", "sdsc"),
+    ("sri", "mit"),
+    ("tioc", "sdsc"),
+    ("mit", "sri"),
+    ("isi-e", "netstar"),
+    ("sdsc", "parc"),
+    ("mci-r", "tioc"),
+    ("darpa", "isi"),
+]
+
+#: NET1 duplex links (see module docstring for the constraints met).
+NET1_LINKS: list[tuple[int, int]] = [
+    (0, 1), (0, 3), (0, 5), (0, 7), (0, 9),
+    (1, 2), (1, 4),
+    (2, 3), (2, 4),
+    (3, 4), (3, 5),
+    (4, 5),
+    (5, 6), (5, 7),
+    (6, 7), (6, 8),
+    (7, 8), (7, 9),
+    (8, 9),
+]
+
+#: The 10 NET1 flows of Section 5 (source, destination).
+NET1_FLOW_PAIRS: list[tuple[int, int]] = [
+    (9, 2),
+    (8, 3),
+    (7, 0),
+    (6, 1),
+    (5, 8),
+    (4, 1),
+    (3, 8),
+    (2, 9),
+    (1, 6),
+    (0, 7),
+]
+
+
+def cairn(capacity: float = LINK_CAPACITY) -> Topology:
+    """The reconstructed CAIRN topology (27 nodes, 37 duplex links)."""
+    topo = Topology("cairn")
+    for a, b, delay in CAIRN_LINKS:
+        topo.add_duplex_link(a, b, capacity=capacity, prop_delay=delay)
+    return topo
+
+
+def net1(
+    capacity: float = LINK_CAPACITY, prop_delay: float = 1e-3
+) -> Topology:
+    """The NET1 topology (10 nodes, 19 duplex links, diameter 4)."""
+    topo = Topology("net1")
+    for a, b in NET1_LINKS:
+        topo.add_duplex_link(a, b, capacity=capacity, prop_delay=prop_delay)
+    return topo

@@ -1,0 +1,116 @@
+"""Loop checks on successor graphs.
+
+For a destination ``j``, the successor sets :math:`S_j^i` of all routers
+define the routing graph :math:`SG_j`.  Theorem 1 of the paper proves the
+LFI conditions keep :math:`SG_j` loop-free at every instant; the functions
+here are the *checkers* the test-suite and the simulation safety monitors
+use to verify that claim on every event.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.exceptions import LoopError
+from repro.graph.topology import NodeId
+
+SuccessorSets = Mapping[NodeId, Iterable[NodeId]]
+
+
+def find_successor_cycle(successors: SuccessorSets) -> list[NodeId] | None:
+    """Find a cycle in a successor graph, or None if it is acyclic.
+
+    Args:
+        successors: for each router, the successor set toward one
+            destination (``successors[i]`` = :math:`S_j^i`).
+
+    Returns:
+        A list of nodes forming a directed cycle (first node repeated at
+        the end), or None when the graph is a DAG.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[NodeId, int] = {node: WHITE for node in successors}
+
+    for root in successors:
+        if color[root] != WHITE:
+            continue
+        # Iterative DFS with an explicit stack so deep topologies cannot
+        # overflow Python's recursion limit.
+        stack: list[tuple[NodeId, list[NodeId]]] = [
+            (root, list(successors.get(root, ())))
+        ]
+        color[root] = GRAY
+        path = [root]
+        while stack:
+            node, pending = stack[-1]
+            advanced = False
+            while pending:
+                nxt = pending.pop()
+                state = color.get(nxt, BLACK)  # absent => no out-edges known
+                if state == GRAY:
+                    cycle = path[path.index(nxt):] + [nxt]
+                    return cycle
+                if state == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, list(successors.get(nxt, ()))))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+    return None
+
+
+def is_loop_free(successors: SuccessorSets) -> bool:
+    """True when the successor graph contains no directed cycle."""
+    return find_successor_cycle(successors) is None
+
+
+def assert_loop_free(
+    successors: SuccessorSets, destination: NodeId | None = None
+) -> None:
+    """Raise :class:`~repro.exceptions.LoopError` if a cycle exists."""
+    cycle = find_successor_cycle(successors)
+    if cycle is not None:
+        where = f" for destination {destination!r}" if destination is not None else ""
+        raise LoopError(f"successor graph{where} has cycle {cycle!r}")
+
+
+def successor_graph_order(
+    successors: SuccessorSets, destination: NodeId
+) -> list[NodeId]:
+    """Topological order of the routing DAG, *upstream first*.
+
+    Orders nodes so that every router appears before all of its successors
+    toward ``destination``; the destination itself (if present) comes last.
+    Processing node flows :math:`t_j^i` in this order lets the fluid
+    evaluator apply Eq. (1) in a single pass.
+
+    Raises:
+        LoopError: if the graph has a cycle.
+    """
+    indegree: dict[NodeId, int] = {node: 0 for node in successors}
+    indegree.setdefault(destination, 0)
+    for node, succs in successors.items():
+        for nxt in succs:
+            indegree[nxt] = indegree.get(nxt, 0) + 1
+
+    # "in-degree" here counts routing predecessors: a node is ready once
+    # all routers that forward *through* it have been emitted.
+    ready = sorted(
+        (node for node, deg in indegree.items() if deg == 0), key=repr
+    )
+    order: list[NodeId] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for nxt in successors.get(node, ()):
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    if len(order) != len(indegree):
+        assert_loop_free(successors, destination)
+        raise LoopError("inconsistent successor graph")  # pragma: no cover
+    return order

@@ -1,0 +1,30 @@
+"""Packet-level discrete-event network simulator.
+
+A from-scratch substrate (no simpy in this offline environment) used for
+packet-granularity experiments and for validating the fluid model:
+
+- :mod:`repro.netsim.engine` — the event scheduler;
+- :mod:`repro.netsim.packet` / :mod:`queueing` / :mod:`link` /
+  :mod:`node` — the data plane (FIFO output queues, transmission +
+  propagation, per-destination weighted splitting);
+- :mod:`repro.netsim.traffic` — Poisson / CBR / on-off sources;
+- :mod:`repro.netsim.monitor` — delay and flow measurement windows;
+- :mod:`repro.netsim.control` — timed delivery of LSU messages so the
+  MPDA routers of :mod:`repro.core` can run inside the simulator;
+- :mod:`repro.netsim.network` — assembles everything from a
+  :class:`~repro.graph.topology.Topology`.
+"""
+
+from repro.netsim.engine import Engine
+from repro.netsim.packet import Packet
+from repro.netsim.network import PacketNetwork
+from repro.netsim.traffic import CBRSource, OnOffSource, PoissonSource
+
+__all__ = [
+    "Engine",
+    "Packet",
+    "PacketNetwork",
+    "PoissonSource",
+    "CBRSource",
+    "OnOffSource",
+]

@@ -1,0 +1,143 @@
+"""Timed control plane: MPDA inside the discrete-event simulator.
+
+The synchronous :class:`~repro.core.driver.ProtocolDriver` explores
+delivery *orders*; this module adds real *time*: LSU messages propagate
+over the physical links with their propagation delays (plus an optional
+per-message processing delay), satisfying the paper's assumption that
+messages on an operational link arrive correctly, in order, within a
+finite time.
+
+In-order delivery holds because every message on a link experiences the
+same latency and the engine breaks time ties in scheduling order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.linkstate import LSUMessage
+from repro.core.mpda import MPDARouter, check_safety
+from repro.core.pda import PDARouter
+from repro.exceptions import RoutingError, TopologyError
+from repro.graph.shortest_paths import CostMap
+from repro.graph.topology import NodeId, Topology
+from repro.netsim.engine import Engine
+
+#: Event tier for control messages: processed after data-plane events at
+#: the same instant, so measurements see a consistent data plane.
+CONTROL_TIER = 1
+
+
+class ControlPlane:
+    """Delivers LSUs between protocol routers over simulated links."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topo: Topology,
+        routers: Mapping[NodeId, PDARouter],
+        *,
+        processing_delay: float = 0.0,
+        check_invariants: bool = False,
+    ) -> None:
+        self.engine = engine
+        self.topo = topo
+        self.routers = dict(routers)
+        self.processing_delay = processing_delay
+        self.check_invariants = check_invariants
+        self.delivered = 0
+        self.in_flight = 0
+        self._started = False
+        self._failed: set[tuple[NodeId, NodeId]] = set()
+
+    # ------------------------------------------------------------------
+    def start(self, costs: CostMap) -> None:
+        """Bring up all adjacent links at the current simulated time."""
+        if self._started:
+            raise RoutingError("control plane already started")
+        self._started = True
+        for node, router in self.routers.items():
+            for nbr in self.topo.neighbors(node):
+                router.link_up(nbr, self._cost(costs, node, nbr))
+                self._flush(router)
+
+    def set_costs(self, costs: Mapping[tuple[NodeId, NodeId], float]) -> None:
+        """Inject adjacent-link cost changes (long-term updates)."""
+        for (head, tail), cost in costs.items():
+            router = self.routers[head]
+            if tail not in router.link_costs:
+                continue  # link currently down
+            if router.link_costs[tail] == cost:
+                continue
+            router.link_cost_change(tail, cost)
+            self._flush(router)
+
+    def fail_link(self, a: NodeId, b: NodeId) -> None:
+        """Fail the duplex link (in-flight LSUs on it are lost)."""
+        self._failed.add((a, b))
+        self._failed.add((b, a))
+        for head, tail in ((a, b), (b, a)):
+            router = self.routers[head]
+            if tail in router.link_costs:
+                router.link_down(tail)
+                self._flush(router)
+
+    def restore_link(
+        self, a: NodeId, b: NodeId, cost_ab: float, cost_ba: float
+    ) -> None:
+        self._failed.discard((a, b))
+        self._failed.discard((b, a))
+        for head, tail, cost in ((a, b, cost_ab), (b, a, cost_ba)):
+            self.routers[head].link_up(tail, cost)
+            self._flush(self.routers[head])
+
+    # ------------------------------------------------------------------
+    def _flush(self, router: PDARouter) -> None:
+        """Schedule everything in the router's outbox for delivery."""
+        for nbr, message in router.outbox:
+            link_id = (router.node_id, nbr)
+            if link_id in self._failed or not self.topo.has_link(*link_id):
+                continue
+            latency = (
+                self.topo.link(*link_id).prop_delay + self.processing_delay
+            )
+            self.in_flight += 1
+            self.engine.schedule(
+                latency,
+                self._deliver_closure(link_id, message),
+                tier=CONTROL_TIER,
+            )
+        router.outbox.clear()
+
+    def _deliver_closure(self, link_id, message: LSUMessage):
+        def deliver() -> None:
+            self.in_flight -= 1
+            if link_id in self._failed:
+                return  # lost with the link
+            receiver = self.routers[link_id[1]]
+            receiver.receive(message)
+            self.delivered += 1
+            self._flush(receiver)
+            if self.check_invariants:
+                mpda = {
+                    node: r
+                    for node, r in self.routers.items()
+                    if isinstance(r, MPDARouter)
+                }
+                if mpda:
+                    check_safety(mpda)
+
+        return deliver
+
+    def quiescent(self) -> bool:
+        """True when no control messages are in flight."""
+        return self.in_flight == 0
+
+    @staticmethod
+    def _cost(costs: CostMap, head: NodeId, tail: NodeId) -> float:
+        try:
+            return costs[(head, tail)]
+        except KeyError:
+            raise TopologyError(
+                f"no initial cost for {head!r}->{tail!r}"
+            ) from None

@@ -1,0 +1,171 @@
+"""Discrete-event simulation engine.
+
+A classic calendar-queue design: a binary heap of (time, tier, seq)
+ordered events, each holding a zero-argument callback.  Ties in time
+break first on an integer *tier* (so, e.g., measurement callbacks can be
+ordered after data-plane callbacks at the same instant) and then on
+scheduling order, which keeps runs fully deterministic.
+
+The engine is deliberately callback-based rather than coroutine-based:
+the simulator's components (links, sources, timers) are state machines,
+and callbacks keep the hot path free of generator overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    tier: int
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Engine.schedule`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+
+class Engine:
+    """The event loop.
+
+    Typical use::
+
+        engine = Engine()
+        engine.schedule(1.5, fire)          # relative delay
+        engine.schedule_at(10.0, finish)    # absolute time
+        engine.run(until=60.0)
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = itertools.count()
+        self.processed = 0
+
+    def schedule(
+        self, delay: float, callback: Callback, *, tier: int = 0
+    ) -> EventHandle:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay!r}")
+        return self.schedule_at(self.now + delay, callback, tier=tier)
+
+    def schedule_at(
+        self, time: float, callback: Callback, *, tier: int = 0
+    ) -> EventHandle:
+        """Run ``callback`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time!r}, now is {self.now!r}"
+            )
+        event = _ScheduledEvent(time, tier, next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def every(
+        self,
+        interval: float,
+        callback: Callback,
+        *,
+        start: float | None = None,
+        tier: int = 0,
+    ) -> EventHandle:
+        """Run ``callback`` periodically (first firing at ``start`` or
+        one interval from now).  Returns the handle of the *next* firing;
+        cancelling it stops the series."""
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive: {interval!r}")
+        state: dict[str, EventHandle] = {}
+
+        def fire() -> None:
+            callback()
+            state["handle"] = self.schedule(interval, fire, tier=tier)
+
+        first = start if start is not None else self.now + interval
+        state["handle"] = self.schedule_at(first, fire, tier=tier)
+
+        class _Periodic(EventHandle):
+            def __init__(self) -> None:  # noqa: D401 - thin proxy
+                pass
+
+            def cancel(self) -> None:
+                state["handle"].cancel()
+
+            @property
+            def time(self) -> float:
+                return state["handle"].time
+
+            @property
+            def active(self) -> bool:
+                return state["handle"].active
+
+        return _Periodic()
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next event; False when the calendar is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            self.processed += 1
+            return True
+        return False
+
+    def run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> None:
+        """Process events until the calendar empties, ``until`` is
+        reached (the clock is then advanced to it), or ``max_events``."""
+        budget = max_events if max_events is not None else float("inf")
+        done = 0
+        while self._heap and done < budget:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.time > until:
+                break
+            if not self.step():
+                break
+            done += 1
+        if max_events is not None and done >= budget and self._heap:
+            raise SimulationError(f"exceeded event budget of {max_events}")
+        if until is not None and until > self.now:
+            self.now = until
+
+    def pending(self) -> int:
+        """Events still scheduled (including cancelled tombstones)."""
+        return sum(1 for e in self._heap if not e.cancelled)

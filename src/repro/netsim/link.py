@@ -1,0 +1,125 @@
+"""Simulated links: FIFO queue, transmission, propagation.
+
+A :class:`SimLink` is one *direction* of a physical link.  Service times
+default to exponential with mean :math:`1/C` so a Poisson-fed link is an
+M/M/1 queue — matching the delay law the paper's cost function assumes
+(Eq. 24); ``service="deterministic"`` turns it into M/D/1 for studying
+how sensitive the framework is to that assumption (the paper notes the
+M/M/1 assumption "does not hold in practice in the presence of very
+bursty traffic").
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.exceptions import SimulationError
+from repro.graph.topology import Link
+from repro.netsim.engine import Engine
+from repro.netsim.monitor import LinkMonitor
+from repro.netsim.packet import Packet
+from repro.netsim.queueing import FIFOQueue
+
+DeliverFn = Callable[[Packet], None]
+
+SERVICE_MODELS = ("exponential", "deterministic")
+
+
+class SimLink:
+    """One directed link in the simulator.
+
+    Args:
+        engine: the event engine.
+        link: the topology link (capacity in packets/s, prop delay in s).
+        deliver: callback invoked at the receiving node when a packet
+            finishes propagation.
+        rng: random source for service times.
+        service: "exponential" (M/M/1) or "deterministic" (M/D/1).
+        queue_capacity: None for the paper's lossless model.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        link: Link,
+        deliver: DeliverFn,
+        rng: random.Random,
+        *,
+        service: str = "exponential",
+        queue_capacity: int | None = None,
+    ) -> None:
+        if service not in SERVICE_MODELS:
+            raise SimulationError(
+                f"unknown service model {service!r}; pick from {SERVICE_MODELS}"
+            )
+        self.engine = engine
+        self.link = link
+        self.deliver = deliver
+        self.rng = rng
+        self.service = service
+        self.queue = FIFOQueue(queue_capacity)
+        self.monitor = LinkMonitor(link.prop_delay)
+        self.busy = False
+        self.up = True
+        self.busy_time = 0.0
+        self._service_started = 0.0
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Hand a packet to this link at the current simulated time."""
+        if not self.up:
+            self.queue.dropped += 1
+            return
+        now = self.engine.now
+        if self.busy:
+            self.queue.push(packet, now)
+        else:
+            self._begin_service(packet, arrived=now)
+
+    def _begin_service(self, packet: Packet, arrived: float) -> None:
+        self.busy = True
+        self._service_started = self.engine.now
+        self.engine.schedule(
+            self._service_time(), lambda: self._finish_service(packet, arrived)
+        )
+
+    def _service_time(self) -> float:
+        mean = 1.0 / self.link.capacity
+        if self.service == "deterministic":
+            return mean
+        return self.rng.expovariate(self.link.capacity)
+
+    def _finish_service(self, packet: Packet, arrived: float) -> None:
+        now = self.engine.now
+        self.busy_time += now - self._service_started
+        self.monitor.record(now - arrived)
+        if self.up:
+            self.engine.schedule(
+                self.link.prop_delay, lambda: self.deliver(packet)
+            )
+        if self.queue:
+            next_packet, enqueue_time = self.queue.pop()
+            self._begin_service(next_packet, arrived=enqueue_time)
+        else:
+            self.busy = False
+
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the link down; queued packets are dropped."""
+        self.up = False
+        while self.queue:
+            self.queue.pop()
+            self.queue.dropped += 1
+
+    def restore(self) -> None:
+        self.up = True
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` spent transmitting."""
+        if elapsed <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self.busy:
+            busy += self.engine.now - self._service_started
+        return busy / elapsed

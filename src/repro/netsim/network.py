@@ -1,0 +1,210 @@
+"""Assembles a packet-level network from a topology.
+
+:class:`PacketNetwork` builds one :class:`~repro.netsim.node.SimNode`
+per router and one :class:`~repro.netsim.link.SimLink` per directed
+link, wires delivery paths, and owns the measurement plumbing: per-link
+cost estimators fed from the link monitors, and the flow monitor
+recording end-to-end delays.
+
+It is routing-agnostic: any :class:`~repro.netsim.node.RoutingProvider`
+works, so the same network runs MP, SP, OPT-derived parameters, or a
+fixed phi.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.costs import MM1CostEstimator, OnlineCostEstimator
+from repro.exceptions import SimulationError, TopologyError
+from repro.fluid.flows import Flow, TrafficMatrix
+from repro.graph.topology import LinkId, NodeId, Topology
+from repro.netsim.engine import Engine
+from repro.netsim.link import SimLink
+from repro.netsim.monitor import FlowMonitor
+from repro.netsim.node import RoutingProvider, SimNode
+from repro.netsim.packet import Packet
+from repro.netsim.traffic import OnOffSource, PoissonSource
+
+ESTIMATOR_KINDS = ("mm1", "online")
+
+
+class PacketNetwork:
+    """The packet-level data plane plus measurement.
+
+    Args:
+        topo: the network.
+        routing: routing-parameter provider consulted per packet.
+        seed: master seed; per-component RNGs derive from it.
+        service: link service model ("exponential" or "deterministic").
+        estimator: link-cost estimator kind ("mm1" uses true capacities,
+            "online" is the capacity-free estimator).
+    """
+
+    def __init__(
+        self,
+        topo: Topology,
+        routing: RoutingProvider,
+        *,
+        seed: int = 0,
+        service: str = "exponential",
+        estimator: str = "mm1",
+    ) -> None:
+        if estimator not in ESTIMATOR_KINDS:
+            raise SimulationError(
+                f"unknown estimator {estimator!r}; pick from {ESTIMATOR_KINDS}"
+            )
+        self.topo = topo
+        self.routing = routing
+        self.engine = Engine()
+        self.flow_monitor = FlowMonitor()
+        master = random.Random(seed)
+
+        self.nodes: dict[NodeId, SimNode] = {}
+        for node in topo.nodes:
+            self.nodes[node] = SimNode(
+                node,
+                routing,
+                self.flow_monitor,
+                random.Random(master.getrandbits(64)),
+                topo.num_nodes,
+            )
+
+        self.links: dict[LinkId, SimLink] = {}
+        self.estimators: dict[LinkId, object] = {}
+        for ln in topo.links():
+            self.links[ln.link_id] = SimLink(
+                self.engine,
+                ln,
+                self._deliver_closure(ln.tail),
+                random.Random(master.getrandbits(64)),
+                service=service,
+            )
+            if estimator == "mm1":
+                self.estimators[ln.link_id] = MM1CostEstimator(
+                    ln.capacity, ln.prop_delay
+                )
+            else:
+                self.estimators[ln.link_id] = OnlineCostEstimator()
+
+        for node in topo.nodes:
+            self.nodes[node].bind_links(
+                {
+                    nbr: self.links[(node, nbr)]
+                    for nbr in topo.neighbors(node)
+                }
+            )
+        self._source_rng = random.Random(master.getrandbits(64))
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    def _deliver_closure(self, node: NodeId):
+        sim_node = None
+
+        def deliver(packet: Packet) -> None:
+            nonlocal sim_node
+            if sim_node is None:
+                sim_node = self.nodes[node]
+            sim_node.receive(packet, self.engine.now)
+
+        return deliver
+
+    def inject(self, packet: Packet) -> None:
+        """Inject a packet at its source router."""
+        try:
+            node = self.nodes[packet.source]
+        except KeyError:
+            raise TopologyError(f"unknown source {packet.source!r}")
+        self.flow_monitor.note_injected(packet.flow)
+        node.receive(packet, self.engine.now)
+
+    # ------------------------------------------------------------------
+    # workload attachment
+    # ------------------------------------------------------------------
+    def attach_poisson(
+        self,
+        traffic: TrafficMatrix,
+        *,
+        start: float = 0.0,
+        stop: float | None = None,
+    ) -> list[PoissonSource]:
+        """One Poisson source per flow of ``traffic``."""
+        traffic.validate_against(self.topo)
+        return [
+            PoissonSource(
+                self.engine,
+                self.inject,
+                flow,
+                random.Random(self._source_rng.getrandbits(64)),
+                start=start,
+                stop=stop,
+            )
+            for flow in traffic.flows
+        ]
+
+    def attach_onoff(
+        self,
+        flows: list[Flow],
+        *,
+        burstiness: float = 4.0,
+        mean_on: float = 1.0,
+        start: float = 0.0,
+        stop: float | None = None,
+    ) -> list[OnOffSource]:
+        """On-off sources averaging each flow's rate.
+
+        ``burstiness`` is the peak-to-mean ratio; the off period is
+        derived so the long-run rate equals ``flow.rate``.
+        """
+        if burstiness <= 1.0:
+            raise SimulationError(
+                f"burstiness must exceed 1 (peak/mean), got {burstiness!r}"
+            )
+        mean_off = mean_on * (burstiness - 1.0)
+        return [
+            OnOffSource(
+                self.engine,
+                self.inject,
+                flow,
+                random.Random(self._source_rng.getrandbits(64)),
+                peak_rate=flow.rate * burstiness,
+                mean_on=mean_on,
+                mean_off=mean_off,
+                start=start,
+                stop=stop,
+            )
+            for flow in flows
+        ]
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+    def measure_costs(self) -> dict[LinkId, float]:
+        """Close every link's measurement window and return fresh costs.
+
+        Feeds each window into the link's estimator; call this at each
+        ``Ts`` / ``Tl`` boundary.
+        """
+        costs: dict[LinkId, float] = {}
+        now = self.engine.now
+        for link_id, link in self.links.items():
+            measurement = link.monitor.take_window(now)
+            estimator = self.estimators[link_id]
+            costs[link_id] = estimator.observe(measurement)
+        return costs
+
+    def link_utilizations(self) -> dict[LinkId, float]:
+        elapsed = self.engine.now
+        return {
+            link_id: link.utilization(elapsed)
+            for link_id, link in self.links.items()
+        }
+
+    def mean_flow_delays(self) -> dict[str, float]:
+        """Per-flow mean end-to-end delay (seconds)."""
+        return self.flow_monitor.mean_delays()
+
+    def run(self, until: float) -> None:
+        """Advance the simulation to absolute time ``until``."""
+        self.engine.run(until=until)

@@ -1,0 +1,53 @@
+"""Packets — the data-plane unit of the simulator.
+
+Packets are mutable (they accumulate a hop count) but deliberately tiny:
+the simulator may create millions of them, so ``__slots__`` keeps the
+per-packet footprint small.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.graph.topology import NodeId
+
+_ids = itertools.count(1)
+
+
+class Packet:
+    """One packet travelling from ``source`` to ``destination``.
+
+    Attributes:
+        flow: label of the flow it belongs to (figure x-axes group on it).
+        created_at: injection time, for end-to-end delay accounting.
+        hops: links traversed so far — a loop detector's raw material.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "flow",
+        "source",
+        "destination",
+        "created_at",
+        "hops",
+    )
+
+    def __init__(
+        self,
+        flow: str,
+        source: NodeId,
+        destination: NodeId,
+        created_at: float,
+    ) -> None:
+        self.packet_id = next(_ids)
+        self.flow = flow
+        self.source = source
+        self.destination = destination
+        self.created_at = created_at
+        self.hops = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(#{self.packet_id} {self.flow}: "
+            f"{self.source!r}->{self.destination!r}, hops={self.hops})"
+        )

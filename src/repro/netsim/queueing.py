@@ -1,0 +1,47 @@
+"""Output queues for simulated links.
+
+The paper's model assumes no packet loss ("Assuming that the network
+does not lose any packets"), so the default queue is unbounded; a finite
+``capacity`` is available for overload experiments, with drops counted
+rather than silently ignored.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.netsim.packet import Packet
+
+
+class FIFOQueue:
+    """A FIFO packet queue with waiting-time accounting."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"queue capacity must be >= 0: {capacity!r}")
+        self.capacity = capacity
+        self._items: deque[tuple[Packet, float]] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+        self.max_depth = 0
+
+    def push(self, packet: Packet, now: float) -> bool:
+        """Enqueue; returns False (and counts a drop) when full."""
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._items.append((packet, now))
+        self.enqueued += 1
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+        return True
+
+    def pop(self) -> tuple[Packet, float]:
+        """Dequeue the oldest packet with its enqueue time."""
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)

@@ -1,0 +1,175 @@
+"""Traffic sources for the packet simulator.
+
+- :class:`PoissonSource` — Poisson packet arrivals at a fixed mean rate;
+  the stationary workload of the paper's Section 5.1 experiments.
+- :class:`CBRSource` — constant bit rate (deterministic spacing).
+- :class:`OnOffSource` — exponential on/off bursts; the "very bursty"
+  dynamic traffic the paper argues single-path routing handles poorly.
+
+All sources take an injection callback ``inject(packet)`` so they are
+independent of the network plumbing, and an explicit ``random.Random``
+for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.exceptions import SimulationError
+from repro.fluid.flows import Flow
+from repro.netsim.engine import Engine
+from repro.netsim.packet import Packet
+
+InjectFn = Callable[[Packet], None]
+
+
+class _SourceBase:
+    """Common lifecycle: start/stop window, packet construction."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        inject: InjectFn,
+        flow: Flow,
+        *,
+        start: float = 0.0,
+        stop: float | None = None,
+    ) -> None:
+        if stop is not None and stop < start:
+            raise SimulationError(f"stop {stop!r} before start {start!r}")
+        self.engine = engine
+        self.inject = inject
+        self.flow = flow
+        self.start = start
+        self.stop = stop
+        self.emitted = 0
+
+    def _within_window(self) -> bool:
+        return self.stop is None or self.engine.now < self.stop
+
+    def _emit(self) -> None:
+        packet = Packet(
+            self.flow.label(),
+            self.flow.source,
+            self.flow.destination,
+            self.engine.now,
+        )
+        self.emitted += 1
+        self.inject(packet)
+
+
+class PoissonSource(_SourceBase):
+    """Poisson arrivals at ``flow.rate`` packets/s."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        inject: InjectFn,
+        flow: Flow,
+        rng: random.Random,
+        *,
+        start: float = 0.0,
+        stop: float | None = None,
+    ) -> None:
+        super().__init__(engine, inject, flow, start=start, stop=stop)
+        self.rng = rng
+        if flow.rate > 0:
+            engine.schedule_at(start + self._gap(), self._fire)
+
+    def _gap(self) -> float:
+        return self.rng.expovariate(self.flow.rate)
+
+    def _fire(self) -> None:
+        if not self._within_window():
+            return
+        self._emit()
+        self.engine.schedule(self._gap(), self._fire)
+
+
+class CBRSource(_SourceBase):
+    """Deterministic arrivals every ``1/rate`` seconds."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        inject: InjectFn,
+        flow: Flow,
+        *,
+        start: float = 0.0,
+        stop: float | None = None,
+    ) -> None:
+        super().__init__(engine, inject, flow, start=start, stop=stop)
+        if flow.rate > 0:
+            engine.schedule_at(start + 1.0 / flow.rate, self._fire)
+
+    def _fire(self) -> None:
+        if not self._within_window():
+            return
+        self._emit()
+        self.engine.schedule(1.0 / self.flow.rate, self._fire)
+
+
+class OnOffSource(_SourceBase):
+    """Exponential on/off bursts.
+
+    During an *on* period (mean ``mean_on`` seconds) packets arrive as a
+    Poisson stream at ``peak_rate``; *off* periods (mean ``mean_off``)
+    are silent.  The long-run average rate is
+    ``peak_rate * mean_on / (mean_on + mean_off)``.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        inject: InjectFn,
+        flow: Flow,
+        rng: random.Random,
+        *,
+        peak_rate: float,
+        mean_on: float,
+        mean_off: float,
+        start: float = 0.0,
+        stop: float | None = None,
+    ) -> None:
+        super().__init__(engine, inject, flow, start=start, stop=stop)
+        if peak_rate <= 0 or mean_on <= 0 or mean_off < 0:
+            raise SimulationError(
+                "on/off source needs positive peak rate and on-period"
+            )
+        self.rng = rng
+        self.peak_rate = peak_rate
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.on_until = 0.0
+        engine.schedule_at(start, self._begin_on)
+
+    @property
+    def average_rate(self) -> float:
+        return self.peak_rate * self.mean_on / (self.mean_on + self.mean_off)
+
+    def _begin_on(self) -> None:
+        if not self._within_window():
+            return
+        duration = self.rng.expovariate(1.0 / self.mean_on)
+        self.on_until = self.engine.now + duration
+        self.engine.schedule(duration, self._begin_off)
+        self.engine.schedule(
+            self.rng.expovariate(self.peak_rate), self._fire
+        )
+
+    def _begin_off(self) -> None:
+        if not self._within_window():
+            return
+        if self.mean_off == 0:
+            self._begin_on()
+            return
+        self.engine.schedule(
+            self.rng.expovariate(1.0 / self.mean_off), self._begin_on
+        )
+
+    def _fire(self) -> None:
+        if not self._within_window() or self.engine.now > self.on_until:
+            return
+        self._emit()
+        self.engine.schedule(self.rng.expovariate(self.peak_rate), self._fire)

@@ -1,0 +1,34 @@
+"""Experiment harness: scenarios and the two-timescale simulators.
+
+- :mod:`repro.sim.scenario` — workload descriptions (static CAIRN/NET1
+  as in the paper's Section 5, dynamic bursty variants);
+- :mod:`repro.sim.runner` — the quasi-static (fluid) simulator driving
+  MP/SP through the paper's ``Tl`` / ``Ts`` update discipline, plus the
+  OPT evaluation;
+- :mod:`repro.sim.packet_runner` — the same discipline over the
+  packet-level simulator;
+- :mod:`repro.sim.results` — epoch records and run summaries.
+"""
+
+from repro.sim.results import EpochRecord, RunResult
+from repro.sim.runner import QuasiStaticConfig, run_opt, run_quasi_static
+from repro.sim.scenario import (
+    Scenario,
+    bursty_scenario,
+    cairn_scenario,
+    net1_scenario,
+    with_failures,
+)
+
+__all__ = [
+    "Scenario",
+    "cairn_scenario",
+    "net1_scenario",
+    "bursty_scenario",
+    "with_failures",
+    "QuasiStaticConfig",
+    "run_quasi_static",
+    "run_opt",
+    "EpochRecord",
+    "RunResult",
+]

@@ -1,0 +1,31 @@
+"""Units used throughout the library.
+
+The paper's delay law :math:`D(f) = f/(C-f) + \\tau f` gives per-unit
+delays of :math:`1/(C-f) + \\tau`; for that queueing term to be the delay
+a *packet* experiences, flows and capacities must be measured in
+**packets per second** (an M/M/1 queue of packets with mean size
+:data:`PACKET_SIZE_BITS`).  All capacities, flow rates and traffic
+matrices in this library are therefore in packets/s; delays are in
+seconds.  Use :func:`mbps` to express the paper's "Mb/s" figures.
+"""
+
+from __future__ import annotations
+
+#: Mean packet size assumed when converting bit rates to packet rates.
+PACKET_SIZE_BYTES = 1000
+PACKET_SIZE_BITS = 8 * PACKET_SIZE_BYTES
+
+
+def mbps(rate_mbps: float) -> float:
+    """Convert megabits/s to packets/s (e.g. ``mbps(10)`` = 1250 pkt/s)."""
+    return rate_mbps * 1e6 / PACKET_SIZE_BITS
+
+
+def to_mbps(rate_pps: float) -> float:
+    """Convert packets/s back to megabits/s (for reports)."""
+    return rate_pps * PACKET_SIZE_BITS / 1e6
+
+
+def ms(seconds: float) -> float:
+    """Seconds to milliseconds (the unit of the paper's delay axes)."""
+    return seconds * 1e3

@@ -1,0 +1,47 @@
+"""Shared fixtures: small canonical topologies and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fluid.flows import Flow, TrafficMatrix
+from repro.graph.generators import grid, ring
+from repro.graph.topology import Topology
+
+
+@pytest.fixture
+def triangle() -> Topology:
+    """Three nodes, fully connected — the smallest multipath network."""
+    topo = Topology("triangle")
+    topo.add_duplex_link("a", "b", capacity=1000.0, prop_delay=1e-3)
+    topo.add_duplex_link("b", "c", capacity=1000.0, prop_delay=1e-3)
+    topo.add_duplex_link("a", "c", capacity=1000.0, prop_delay=1e-3)
+    return topo
+
+
+@pytest.fixture
+def diamond() -> Topology:
+    """s - (a | b) - t: two disjoint two-hop paths plus a cross link."""
+    topo = Topology("diamond")
+    topo.add_duplex_link("s", "a", capacity=1000.0, prop_delay=1e-3)
+    topo.add_duplex_link("s", "b", capacity=1000.0, prop_delay=1e-3)
+    topo.add_duplex_link("a", "t", capacity=1000.0, prop_delay=1e-3)
+    topo.add_duplex_link("b", "t", capacity=1000.0, prop_delay=1e-3)
+    topo.add_duplex_link("a", "b", capacity=1000.0, prop_delay=1e-3)
+    return topo
+
+
+@pytest.fixture
+def square_ring() -> Topology:
+    return ring(4, capacity=1000.0, prop_delay=1e-3)
+
+
+@pytest.fixture
+def small_grid() -> Topology:
+    return grid(3, 3, capacity=1000.0, prop_delay=1e-3)
+
+
+@pytest.fixture
+def diamond_traffic() -> TrafficMatrix:
+    """One flow across the diamond, hot enough to need both paths."""
+    return TrafficMatrix([Flow("s", "t", 600.0, name="hot")])

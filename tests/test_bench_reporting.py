@@ -1,0 +1,46 @@
+"""The plain-text figure renderers."""
+
+from repro.bench.reporting import render_flow_table, render_series
+
+
+class TestFlowTable:
+    def test_all_labels_and_flows_present(self):
+        text = render_flow_table(
+            "T",
+            {"OPT": {"f0": 1.0, "f1": 2.0}, "MP": {"f0": 1.5}},
+        )
+        assert "OPT" in text and "MP" in text
+        assert "f0" in text and "f1" in text
+        assert "1.500" in text
+
+    def test_missing_value_dash(self):
+        text = render_flow_table("T", {"A": {"f0": 1.0}, "B": {}})
+        row = next(line for line in text.splitlines() if line.startswith("f0"))
+        assert "-" in row
+
+    def test_flow_ordering_numeric(self):
+        """f10 must sort after f9, not between f1 and f2."""
+        series = {"A": {f"f{i}": float(i) for i in range(11)}}
+        text = render_flow_table("T", series)
+        lines = [l for l in text.splitlines() if l.startswith("f")]
+        assert lines.index(next(l for l in lines if l.startswith("f9 "))) < \
+            lines.index(next(l for l in lines if l.startswith("f10")))
+
+    def test_unit_note(self):
+        assert "(delays in ms)" in render_flow_table("T", {"A": {"f0": 1.0}})
+
+
+class TestSeries:
+    def test_rows_are_x_values(self):
+        text = render_series(
+            "T",
+            {"MP": [(10.0, 1.0), (20.0, 1.1)], "SP": [(10.0, 5.0)]},
+            x_name="Tl",
+        )
+        assert "Tl" in text
+        assert "10" in text and "20" in text
+        assert "5.000" in text
+
+    def test_missing_point_dash(self):
+        text = render_series("T", {"A": [(1.0, 2.0)], "B": [(3.0, 4.0)]})
+        assert "-" in text

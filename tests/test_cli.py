@@ -1,0 +1,72 @@
+"""The `python -m repro` experiment runner."""
+
+import pytest
+
+from repro.bench.figures import FigureResult
+from repro.cli import EXPERIMENTS, build_parser, main, render
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_all_is_accepted(self):
+        args = build_parser().parse_args(["run", "all"])
+        assert args.experiment == "all"
+
+
+class TestRegistry:
+    def test_every_paper_figure_registered(self):
+        for fig in ("fig09", "fig10", "fig11", "fig12", "fig13", "fig14"):
+            assert fig in EXPERIMENTS
+
+    def test_factories_callable(self):
+        for factory, description in EXPERIMENTS.values():
+            assert callable(factory)
+            assert description
+
+
+class TestRender:
+    def test_flow_result(self):
+        result = FigureResult(
+            figure="F",
+            claim="c",
+            flow_series={"MP": {"f0": 1.0}},
+            metrics={"x": 1.234},
+        )
+        text = render(result)
+        assert "F" in text and "claim: c" in text and "x=1.234" in text
+
+    def test_sweep_result(self):
+        result = FigureResult(
+            figure="F",
+            claim="c",
+            sweep_series={"MP": [(10.0, 1.0)]},
+            metrics={},
+        )
+        assert "Tl (s)" in render(result)
+
+
+class TestMain:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out
+
+    def test_run_writes_out_file(self, tmp_path, capsys, monkeypatch):
+        # Patch in a fast fake experiment so the CLI test stays quick.
+        fake = FigureResult(
+            figure="fake", claim="none", flow_series={"A": {"f0": 1.0}}
+        )
+        monkeypatch.setitem(
+            EXPERIMENTS, "fig09", (lambda: fake, "patched")
+        )
+        out_file = tmp_path / "r.txt"
+        assert main(["run", "fig09", "--out", str(out_file)]) == 0
+        assert "fake" in out_file.read_text()
+        assert "fake" in capsys.readouterr().out

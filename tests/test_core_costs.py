@@ -1,0 +1,95 @@
+"""Marginal-delay cost estimators."""
+
+import pytest
+
+from repro.core.costs import (
+    Measurement,
+    MM1CostEstimator,
+    OnlineCostEstimator,
+)
+from repro.exceptions import CapacityError
+from repro.fluid.delay import MM1Delay
+
+C = 1000.0
+TAU = 1e-3
+
+
+class TestMeasurement:
+    def test_rejects_negative(self):
+        with pytest.raises(CapacityError):
+            Measurement(flow=-1.0, per_unit_delay=0.0)
+        with pytest.raises(CapacityError):
+            Measurement(flow=1.0, per_unit_delay=-0.1)
+
+
+class TestMM1Estimator:
+    def test_initial_cost_is_idle_marginal(self):
+        est = MM1CostEstimator(C, TAU)
+        assert est.cost == pytest.approx(1.0 / C + TAU)
+
+    def test_tracks_flow_exactly(self):
+        est = MM1CostEstimator(C, TAU)
+        law = MM1Delay(C, TAU)
+        for f in (100.0, 600.0, 900.0):
+            cost = est.observe(Measurement(f, law.per_unit(f)))
+            assert cost == pytest.approx(law.marginal(f))
+
+
+class TestOnlineEstimator:
+    def _law(self):
+        return MM1Delay(C, TAU)
+
+    def _feed(self, est, flows):
+        law = self._law()
+        cost = None
+        for f in flows:
+            cost = est.observe(Measurement(f, law.per_unit(f)))
+        return cost
+
+    def test_never_below_current_per_unit_delay(self):
+        est = OnlineCostEstimator()
+        law = self._law()
+        for f in (100.0, 400.0, 800.0):
+            cost = est.observe(Measurement(f, law.per_unit(f)))
+            assert cost >= law.per_unit(f) - 1e-12
+
+    def test_learns_slope_from_varying_flow(self):
+        """With varying M/M/1 samples, the estimate approaches the true
+        marginal much better than the naive per-unit delay does."""
+        est = OnlineCostEstimator(forgetting=0.95)
+        flows = [500 + 30 * ((i % 7) - 3) for i in range(60)]
+        cost = self._feed(est, flows)
+        law = self._law()
+        true_marginal = law.marginal(500.0)
+        naive = law.per_unit(500.0)
+        assert abs(cost - true_marginal) < abs(naive - true_marginal)
+
+    def test_constant_flow_falls_back_to_per_unit(self):
+        est = OnlineCostEstimator()
+        cost = self._feed(est, [400.0] * 10)
+        law = self._law()
+        assert cost == pytest.approx(law.per_unit(400.0))
+
+    def test_needs_no_capacity_knowledge(self):
+        """The estimator's whole point: it is built from measurements
+        only (construct without any capacity argument)."""
+        est = OnlineCostEstimator()
+        assert est.cost == 0.0
+        est.observe(Measurement(10.0, 0.005))
+        assert est.cost > 0.0
+
+    def test_forgetting_validated(self):
+        with pytest.raises(CapacityError):
+            OnlineCostEstimator(forgetting=0.0)
+        with pytest.raises(CapacityError):
+            OnlineCostEstimator(forgetting=1.5)
+
+    def test_slope_never_negative(self):
+        """Decreasing-delay noise must not produce costs below the mean
+        delay (convexity of the true law)."""
+        est = OnlineCostEstimator()
+        est.observe(Measurement(100.0, 0.010))
+        cost = est.observe(Measurement(200.0, 0.005))  # delay fell: noise
+        mean_w = (0.010 + 0.005) / 2
+        assert cost >= min(0.010, 0.005)
+        assert cost >= mean_w - 1e-9 or cost >= 0.005

@@ -1,0 +1,85 @@
+"""The synchronous protocol driver."""
+
+import pytest
+
+from repro.core.driver import ProtocolDriver
+from repro.core.mpda import MPDARouter
+from repro.exceptions import ConvergenceError, RoutingError, TopologyError
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, diamond):
+        driver = ProtocolDriver(diamond)
+        driver.start(diamond.uniform_costs(1.0))
+        with pytest.raises(RoutingError):
+            driver.start(diamond.uniform_costs(1.0))
+
+    def test_operations_before_start_rejected(self, diamond):
+        driver = ProtocolDriver(diamond)
+        with pytest.raises(RoutingError):
+            driver.set_costs({})
+        with pytest.raises(RoutingError):
+            driver.fail_link("s", "a")
+
+    def test_missing_initial_cost_rejected(self, diamond):
+        driver = ProtocolDriver(diamond)
+        with pytest.raises(TopologyError):
+            driver.start({})
+
+    def test_set_cost_on_down_link_rejected(self, diamond):
+        driver = ProtocolDriver(diamond)
+        driver.start(diamond.uniform_costs(1.0))
+        driver.run()
+        driver.fail_link("s", "a")
+        driver.run()
+        with pytest.raises(TopologyError):
+            driver.set_costs({("s", "a"): 2.0})
+
+    def test_message_budget_enforced(self, diamond):
+        driver = ProtocolDriver(diamond)
+        driver.start(diamond.uniform_costs(1.0))
+        with pytest.raises(ConvergenceError):
+            driver.run(max_messages=1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, diamond):
+        def run(seed):
+            driver = ProtocolDriver(diamond, MPDARouter, seed=seed)
+            driver.start(diamond.uniform_costs(1.0))
+            driver.run()
+            return driver.delivered, {
+                n: r.distances for n, r in driver.routers.items()
+            }
+
+        assert run(3) == run(3)
+
+    def test_different_seeds_same_outcome(self, diamond):
+        """Interleaving varies, converged state must not (Theorem 2)."""
+        outcomes = []
+        for seed in (0, 1, 2):
+            driver = ProtocolDriver(diamond, MPDARouter, seed=seed)
+            driver.start(diamond.uniform_costs(1.0))
+            driver.run()
+            outcomes.append(
+                {n: r.distances for n, r in driver.routers.items()}
+            )
+        assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+class TestCurrentCosts:
+    def test_reflects_updates(self, diamond):
+        driver = ProtocolDriver(diamond)
+        driver.start(diamond.uniform_costs(1.0))
+        driver.run()
+        driver.set_costs({("s", "a"): 4.0})
+        driver.run()
+        assert driver.current_costs()[("s", "a")] == 4.0
+
+    def test_excludes_failed_links(self, diamond):
+        driver = ProtocolDriver(diamond)
+        driver.start(diamond.uniform_costs(1.0))
+        driver.run()
+        driver.fail_link("s", "a")
+        driver.run()
+        assert ("s", "a") not in driver.current_costs()

@@ -1,0 +1,105 @@
+"""LSU messages and topology tables."""
+
+import pytest
+
+from repro.core.linkstate import (
+    EntryOp,
+    INFINITY,
+    LinkEntry,
+    LSUMessage,
+    TopologyTable,
+)
+
+
+class TestLinkEntry:
+    def test_string_forms(self):
+        add = LinkEntry(EntryOp.ADD, "a", "b", 2.0)
+        change = LinkEntry(EntryOp.CHANGE, "a", "b", 3.0)
+        delete = LinkEntry(EntryOp.DELETE, "a", "b")
+        assert str(add).startswith("+")
+        assert str(change).startswith("~")
+        assert str(delete).startswith("-")
+
+
+class TestLSUMessage:
+    def test_sequence_increases(self):
+        m1 = LSUMessage("a")
+        m2 = LSUMessage("a")
+        assert m2.seq > m1.seq
+
+    def test_pure_ack(self):
+        assert LSUMessage("a", (), ack=True).is_pure_ack
+        entry = LinkEntry(EntryOp.ADD, "a", "b", 1.0)
+        assert not LSUMessage("a", (entry,), ack=True).is_pure_ack
+        assert not LSUMessage("a", ()).is_pure_ack
+
+
+class TestTopologyTable:
+    def test_set_and_cost(self):
+        table = TopologyTable()
+        table.set_link("a", "b", 2.0)
+        assert table.cost("a", "b") == 2.0
+        assert table.cost("b", "a") == INFINITY
+
+    def test_apply_entries(self):
+        table = TopologyTable()
+        table.apply(
+            [
+                LinkEntry(EntryOp.ADD, "a", "b", 1.0),
+                LinkEntry(EntryOp.ADD, "b", "c", 2.0),
+                LinkEntry(EntryOp.CHANGE, "a", "b", 5.0),
+                LinkEntry(EntryOp.DELETE, "b", "c"),
+            ]
+        )
+        assert table.cost("a", "b") == 5.0
+        assert ("b", "c") not in table
+
+    def test_delete_missing_is_noop(self):
+        table = TopologyTable()
+        table.delete_link("x", "y")  # must not raise
+        assert len(table) == 0
+
+    def test_links_with_head(self):
+        table = TopologyTable({("a", "b"): 1.0, ("a", "c"): 2.0, ("b", "c"): 3.0})
+        assert table.links_with_head("a") == {("a", "b"): 1.0, ("a", "c"): 2.0}
+
+    def test_nodes(self):
+        table = TopologyTable({("a", "b"): 1.0, ("b", "c"): 1.0})
+        assert table.nodes() == {"a", "b", "c"}
+
+    def test_distances_from(self):
+        table = TopologyTable({("a", "b"): 1.0, ("b", "c"): 2.0})
+        dist = table.distances_from("a")
+        assert dist["c"] == pytest.approx(3.0)
+
+    def test_diff_roundtrip(self):
+        """old.apply(old.diff(new)) == new — the LSU flooding invariant."""
+        old = TopologyTable({("a", "b"): 1.0, ("b", "c"): 2.0, ("c", "d"): 3.0})
+        new = TopologyTable({("a", "b"): 9.0, ("c", "d"): 3.0, ("d", "e"): 4.0})
+        entries = old.diff(new)
+        patched = old.copy()
+        patched.apply(entries)
+        assert patched == new
+
+    def test_diff_empty_for_identical(self):
+        table = TopologyTable({("a", "b"): 1.0})
+        assert table.diff(table.copy()) == ()
+
+    def test_diff_op_kinds(self):
+        old = TopologyTable({("a", "b"): 1.0, ("b", "c"): 2.0})
+        new = TopologyTable({("a", "b"): 5.0, ("x", "y"): 1.0})
+        ops = {(e.op, e.head, e.tail) for e in old.diff(new)}
+        assert (EntryOp.CHANGE, "a", "b") in ops
+        assert (EntryOp.ADD, "x", "y") in ops
+        assert (EntryOp.DELETE, "b", "c") in ops
+
+    def test_full_dump(self):
+        table = TopologyTable({("a", "b"): 1.0, ("b", "c"): 2.0})
+        fresh = TopologyTable()
+        fresh.apply(table.full_dump())
+        assert fresh == table
+
+    def test_clear(self):
+        table = TopologyTable({("a", "b"): 1.0})
+        table.clear()
+        assert len(table) == 0

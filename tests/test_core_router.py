@@ -1,0 +1,110 @@
+"""MPRouting: the assembled routing plane (both backends)."""
+
+import pytest
+
+from repro.core.router import MPRouting
+from repro.exceptions import RoutingError
+from repro.fluid.evaluator import evaluate
+from repro.fluid.flows import Flow, TrafficMatrix
+from repro.graph.validation import is_loop_free
+
+
+@pytest.fixture
+def routing(diamond):
+    return MPRouting(diamond, ["t"])
+
+
+class TestRouteComputation:
+    def test_invalid_mode_rejected(self, diamond):
+        with pytest.raises(RoutingError):
+            MPRouting(diamond, ["t"], mode="quantum")
+
+    def test_oracle_successors_multipath(self, routing, diamond):
+        routing.update_routes(diamond.uniform_costs(1.0))
+        assert set(routing.successors("t")["s"]) == {"a", "b"}
+
+    def test_single_path_limit(self, diamond):
+        routing = MPRouting(diamond, ["t"], successor_limit=1)
+        routing.update_routes(diamond.uniform_costs(1.0))
+        phi = routing.phi()
+        assert list(phi["s"]["t"].values()) == [1.0]
+
+    def test_phi_satisfies_property1(self, routing, diamond):
+        routing.update_routes(diamond.uniform_costs(1.0))
+        for node, per_dest in routing.phi().items():
+            for dest, fractions in per_dest.items():
+                if fractions:
+                    assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_phi_loop_free(self, routing, diamond):
+        routing.update_routes(diamond.uniform_costs(1.0))
+        succ = {
+            n: [k for k, v in routing.phi()[n].get("t", {}).items() if v > 0]
+            for n in diamond.nodes
+        }
+        assert is_loop_free(succ)
+
+    def test_allocation_shifts_toward_cheap_link(self, routing, diamond):
+        costs = diamond.uniform_costs(1.0)
+        routing.update_routes(costs)
+        before = routing.fractions("s", "t")
+        # make the link to a locally cheap and adjust
+        costs[("s", "a")] = 0.1
+        routing.adjust_allocation(costs)
+        after = routing.fractions("s", "t")
+        assert after["a"] > before["a"]
+
+    def test_update_counts(self, routing, diamond):
+        routing.update_routes(diamond.uniform_costs(1.0))
+        routing.adjust_allocation(diamond.uniform_costs(1.0))
+        assert routing.route_updates == 1
+        assert routing.allocation_updates == 1
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("dest", ["t", "s"])
+    def test_oracle_equals_protocol(self, diamond, dest):
+        costs = diamond.uniform_costs(1.0)
+        oracle = MPRouting(diamond, [dest], mode="oracle")
+        protocol = MPRouting(diamond, [dest], mode="protocol")
+        oracle.update_routes(costs)
+        protocol.update_routes(costs)
+        for node in diamond.nodes:
+            assert sorted(
+                map(repr, oracle.successors(dest).get(node, []))
+            ) == sorted(map(repr, protocol.successors(dest).get(node, [])))
+
+    def test_protocol_mode_tracks_cost_changes(self, diamond):
+        protocol = MPRouting(diamond, ["t"], mode="protocol")
+        costs = diamond.uniform_costs(1.0)
+        protocol.update_routes(costs)
+        costs[("b", "t")] = 10.0
+        costs[("b", "a")] = 10.0
+        costs[("b", "s")] = 10.0
+        protocol.update_routes(costs)
+        assert protocol.successors("t")["s"] == ["a"]
+
+    def test_protocol_stats_exposed(self, diamond):
+        protocol = MPRouting(diamond, ["t"], mode="protocol")
+        protocol.update_routes(diamond.uniform_costs(1.0))
+        stats = protocol.protocol_stats()
+        assert stats["delivered"] > 0
+        oracle = MPRouting(diamond, ["t"])
+        assert oracle.protocol_stats() == {}
+
+
+class TestDataPlaneIntegration:
+    def test_phi_routes_all_traffic(self, diamond):
+        routing = MPRouting(diamond, ["t"])
+        routing.update_routes(diamond.uniform_costs(1.0))
+        traffic = TrafficMatrix([Flow("s", "t", 100.0, name="x")])
+        ev = evaluate(diamond, routing.phi(), traffic)
+        assert ev.flow_delays["x"] > 0
+
+    def test_used_successors_subset_of_successors(self, diamond):
+        routing = MPRouting(diamond, ["t"])
+        routing.update_routes(diamond.uniform_costs(1.0))
+        used = routing.used_successors("t")
+        all_succ = routing.successors("t")
+        for node, chosen in used.items():
+            assert set(chosen) <= set(all_succ.get(node, []))

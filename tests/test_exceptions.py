@@ -1,0 +1,41 @@
+"""The exception hierarchy: everything is catchable as ReproError."""
+
+import pytest
+
+from repro import exceptions
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "TopologyError",
+            "RoutingError",
+            "LoopError",
+            "CapacityError",
+            "AllocationError",
+            "ConvergenceError",
+            "SimulationError",
+        ],
+    )
+    def test_all_derive_from_repro_error(self, name):
+        exc_type = getattr(exceptions, name)
+        assert issubclass(exc_type, exceptions.ReproError)
+
+    def test_loop_error_is_routing_error(self):
+        assert issubclass(exceptions.LoopError, exceptions.RoutingError)
+
+    def test_allocation_error_is_routing_error(self):
+        assert issubclass(exceptions.AllocationError, exceptions.RoutingError)
+
+    def test_library_failures_are_catchable(self, diamond):
+        """A representative failure from each layer lands under ReproError."""
+        from repro.fluid.delay import MM1Delay
+        from repro.graph.topology import Link
+
+        with pytest.raises(exceptions.ReproError):
+            Link("a", "a")
+        with pytest.raises(exceptions.ReproError):
+            MM1Delay(capacity=-5)
+        with pytest.raises(exceptions.ReproError):
+            diamond.neighbors("nope")

@@ -1,0 +1,138 @@
+"""The M/M/1 delay law: values, derivatives, extension, buffer caps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CapacityError, TopologyError
+from repro.fluid.delay import DelayModel, MM1Delay
+from repro.graph.topology import Topology
+
+C = 1000.0
+TAU = 2e-3
+
+
+@pytest.fixture
+def law():
+    return MM1Delay(capacity=C, prop_delay=TAU)
+
+
+class TestExactLaw:
+    def test_zero_flow(self, law):
+        assert law.value(0.0) == 0.0
+        assert law.per_unit(0.0) == pytest.approx(1.0 / C + TAU)
+        assert law.marginal(0.0) == pytest.approx(1.0 / C + TAU)
+
+    def test_half_load(self, law):
+        f = C / 2
+        assert law.value(f) == pytest.approx(f / (C - f) + TAU * f)
+        assert law.per_unit(f) == pytest.approx(1.0 / (C - f) + TAU)
+        assert law.marginal(f) == pytest.approx(C / (C - f) ** 2 + TAU)
+
+    def test_value_equals_flow_times_per_unit(self, law):
+        for f in (0.1, 100.0, 700.0, 950.0):
+            assert law.value(f) == pytest.approx(f * law.per_unit(f))
+
+    def test_strict_mode_infinite_at_capacity(self, law):
+        assert law.value(C, strict=True) == float("inf")
+        assert law.marginal(C * 1.5, strict=True) == float("inf")
+
+    def test_negative_flow_rejected(self, law):
+        with pytest.raises(CapacityError):
+            law.value(-1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CapacityError):
+            MM1Delay(capacity=0.0)
+        with pytest.raises(CapacityError):
+            MM1Delay(capacity=10.0, rho_max=1.0)
+        with pytest.raises(CapacityError):
+            MM1Delay(capacity=10.0, queue_limit=0.0)
+
+
+class TestExtension:
+    def test_continuous_at_knee(self, law):
+        knee = law.knee
+        eps = 1e-6
+        assert law.value(knee + eps) == pytest.approx(
+            law.value(knee - eps), rel=1e-3
+        )
+        assert law.marginal(knee + eps) == pytest.approx(
+            law.marginal(knee - eps), rel=1e-3
+        )
+
+    def test_finite_beyond_capacity(self, law):
+        assert law.value(2 * C) < float("inf")
+        assert law.marginal(2 * C) < float("inf")
+
+    def test_still_convex_beyond_knee(self, law):
+        # marginal strictly increasing across the knee and beyond
+        f_values = [0.9 * C, 0.98 * C, 1.0 * C, 1.2 * C, 2.0 * C]
+        marginals = [law.marginal(f) for f in f_values]
+        assert marginals == sorted(marginals)
+
+    def test_marginal_is_derivative_of_value(self, law):
+        for f in (100.0, 500.0, 900.0, 1100.0):
+            h = 1e-4
+            numeric = (law.value(f + h) - law.value(f - h)) / (2 * h)
+            assert law.marginal(f) == pytest.approx(numeric, rel=1e-5)
+
+
+class TestQueueLimit:
+    def test_per_unit_saturates(self):
+        law = MM1Delay(capacity=C, prop_delay=TAU, queue_limit=50.0)
+        cap = (50.0 + 1.0) / C + TAU
+        assert law.per_unit(5 * C) == pytest.approx(cap)
+        assert law.per_unit(0.0) == pytest.approx(1.0 / C + TAU)
+
+    def test_marginal_saturates(self):
+        law = MM1Delay(capacity=C, prop_delay=TAU, queue_limit=50.0)
+        cap = (50.0 + 1.0) / C + TAU
+        assert law.marginal(5 * C) == pytest.approx(cap)
+
+    def test_cap_not_binding_at_light_load(self):
+        capped = MM1Delay(capacity=C, queue_limit=50.0)
+        free = MM1Delay(capacity=C)
+        assert capped.per_unit(0.5 * C) == free.per_unit(0.5 * C)
+        assert capped.marginal(0.5 * C) == free.marginal(0.5 * C)
+
+
+class TestDelayModel:
+    def test_for_topology(self, triangle):
+        model = DelayModel.for_topology(triangle)
+        assert ("a", "b") in model
+        assert model[("a", "b")].capacity == 1000.0
+
+    def test_missing_link_raises(self, triangle):
+        model = DelayModel.for_topology(triangle)
+        with pytest.raises(TopologyError):
+            model[("a", "zzz")]
+
+    def test_total_delay_sums_links(self, triangle):
+        model = DelayModel.for_topology(triangle)
+        flows = {("a", "b"): 100.0, ("b", "c"): 200.0}
+        expect = model[("a", "b")].value(100.0) + model[("b", "c")].value(200.0)
+        assert model.total_delay(flows) == pytest.approx(expect)
+
+    def test_marginals_include_idle_links(self, triangle):
+        model = DelayModel.for_topology(triangle)
+        costs = model.marginals({("a", "b"): 100.0})
+        assert len(costs) == triangle.num_links
+        idle = model[("b", "c")].marginal(0.0)
+        assert costs[("b", "c")] == pytest.approx(idle)
+
+    def test_utilization(self, triangle):
+        model = DelayModel.for_topology(triangle)
+        assert model[("a", "b")].utilization(500.0) == pytest.approx(0.5)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    f1=st.floats(0.0, 1500.0),
+    f2=st.floats(0.0, 1500.0),
+)
+def test_convexity_property(f1, f2):
+    """D(mid) <= (D(f1) + D(f2)) / 2 — convexity survives the extension."""
+    law = MM1Delay(capacity=C, prop_delay=TAU)
+    mid = (f1 + f2) / 2.0
+    assert law.value(mid) <= (law.value(f1) + law.value(f2)) / 2.0 + 1e-9

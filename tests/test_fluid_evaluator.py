@@ -1,0 +1,191 @@
+"""The fluid evaluator: Eqs. (1)-(3) and per-flow delays."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    AllocationError,
+    ConvergenceError,
+    LoopError,
+    RoutingError,
+)
+from repro.fluid.delay import DelayModel
+from repro.fluid.evaluator import (
+    destination_successors,
+    evaluate,
+    flow_delays,
+    link_flows,
+    node_flows,
+    node_flows_iterative,
+)
+from repro.fluid.flows import Flow, TrafficMatrix
+
+
+def diamond_phi(split: float = 0.5):
+    """Traffic s->t split over the two diamond paths."""
+    return {
+        "s": {"t": {"a": split, "b": 1.0 - split}},
+        "a": {"t": {"t": 1.0}},
+        "b": {"t": {"t": 1.0}},
+    }
+
+
+class TestNodeFlows:
+    def test_single_path_chain(self):
+        phi = {"a": {"c": {"b": 1.0}}, "b": {"c": {"c": 1.0}}}
+        t = node_flows(phi, {"a": 10.0}, "c")
+        assert t["a"] == 10.0
+        assert t["b"] == 10.0
+        assert t["c"] == 10.0  # traffic arriving at the destination
+
+    def test_split_conserves_traffic(self):
+        t = node_flows(diamond_phi(0.3), {"s": 100.0}, "t")
+        assert t["a"] == pytest.approx(30.0)
+        assert t["b"] == pytest.approx(70.0)
+        assert t["t"] == pytest.approx(100.0)
+
+    def test_merging_traffic(self):
+        """Eq. (1): traffic entering at two routers merges downstream."""
+        phi = {
+            "s": {"t": {"a": 1.0}},
+            "x": {"t": {"a": 1.0}},
+            "a": {"t": {"t": 1.0}},
+        }
+        t = node_flows(phi, {"s": 10.0, "x": 5.0}, "t")
+        assert t["a"] == pytest.approx(15.0)
+
+    def test_black_hole_raises(self):
+        phi = {"s": {"t": {"a": 1.0}}, "a": {"t": {}}}
+        with pytest.raises(RoutingError):
+            node_flows(phi, {"s": 1.0}, "t")
+
+    def test_loop_raises(self):
+        phi = {"a": {"t": {"b": 1.0}}, "b": {"t": {"a": 1.0}}}
+        with pytest.raises(LoopError):
+            node_flows(phi, {"a": 1.0}, "t")
+
+    def test_unnormalized_phi_rejected(self):
+        phi = {"s": {"t": {"a": 0.4, "b": 0.4}}}
+        with pytest.raises(AllocationError):
+            node_flows(phi, {"s": 1.0}, "t")
+
+    def test_negative_phi_rejected(self):
+        phi = {"s": {"t": {"a": 1.2, "b": -0.2}}}
+        with pytest.raises(AllocationError):
+            node_flows(phi, {"s": 1.0}, "t")
+
+
+class TestNodeFlowsIterative:
+    def test_agrees_with_exact_on_dag(self):
+        rates = {"s": 100.0}
+        exact = node_flows(diamond_phi(0.25), rates, "t")
+        approx = node_flows_iterative(diamond_phi(0.25), rates, "t")
+        for node, value in exact.items():
+            assert approx[node] == pytest.approx(value, abs=1e-6)
+
+    def test_partial_loop_converges(self):
+        """A loop that leaks traffic out converges geometrically."""
+        phi = {
+            "a": {"t": {"b": 1.0}},
+            "b": {"t": {"a": 0.5, "t": 0.5}},
+        }
+        t = node_flows_iterative(phi, {"a": 10.0}, "t")
+        # a receives 10 + b*0.5, b receives a: solves to a=20, b=20.
+        assert t["a"] == pytest.approx(20.0, abs=1e-5)
+        assert t["b"] == pytest.approx(20.0, abs=1e-5)
+        assert t["t"] == pytest.approx(10.0, abs=1e-5)
+
+    def test_full_recirculation_diverges(self):
+        phi = {"a": {"t": {"b": 1.0}}, "b": {"t": {"a": 1.0}}}
+        with pytest.raises(ConvergenceError):
+            node_flows_iterative(phi, {"a": 1.0}, "t", max_iterations=200)
+
+
+class TestLinkFlows:
+    def test_eq2_sums_destinations(self):
+        phi = {
+            "s": {"t": {"a": 1.0}, "a": {"a": 1.0}},
+            "a": {"t": {"t": 1.0}},
+        }
+        traffic = TrafficMatrix(
+            [Flow("s", "t", 10.0), Flow("s", "a", 5.0)]
+        )
+        f = link_flows(phi, traffic)
+        assert f[("s", "a")] == pytest.approx(15.0)  # both demands share it
+        assert f[("a", "t")] == pytest.approx(10.0)
+
+    def test_conservation_total(self, diamond, diamond_traffic):
+        f = link_flows(diamond_phi(0.5), diamond_traffic)
+        # everything injected leaves s
+        assert f[("s", "a")] + f[("s", "b")] == pytest.approx(600.0)
+        # everything arrives at t
+        assert f[("a", "t")] + f[("b", "t")] == pytest.approx(600.0)
+
+
+class TestFlowDelays:
+    def test_two_hop_delay(self):
+        phi = {"s": {"t": {"a": 1.0}}, "a": {"t": {"t": 1.0}}}
+        traffic = TrafficMatrix([Flow("s", "t", 1.0, name="x")])
+        per_unit = {("s", "a"): 2.0, ("a", "t"): 3.0}
+        assert flow_delays(phi, traffic, per_unit)["x"] == pytest.approx(5.0)
+
+    def test_split_delay_is_weighted_mean(self):
+        traffic = TrafficMatrix([Flow("s", "t", 1.0, name="x")])
+        per_unit = {
+            ("s", "a"): 1.0,
+            ("s", "b"): 1.0,
+            ("a", "t"): 1.0,
+            ("b", "t"): 9.0,
+        }
+        delays = flow_delays(diamond_phi(0.75), traffic, per_unit)
+        # 0.75 * (1+1) + 0.25 * (1+9) = 4.0
+        assert delays["x"] == pytest.approx(4.0)
+
+    def test_unroutable_flow_raises(self):
+        traffic = TrafficMatrix([Flow("q", "t", 1.0, name="x")])
+        with pytest.raises(RoutingError):
+            flow_delays(diamond_phi(), traffic, {})
+
+
+class TestEvaluate:
+    def test_full_evaluation(self, diamond, diamond_traffic):
+        ev = evaluate(diamond, diamond_phi(0.5), diamond_traffic)
+        assert ev.total_delay > 0
+        assert ev.average_delay == pytest.approx(
+            ev.total_delay / diamond_traffic.total_rate()
+        )
+        assert ev.max_utilization == pytest.approx(300.0 / 1000.0)
+        assert set(ev.flow_delays) == {"hot"}
+
+    def test_balanced_split_beats_single_path(self, diamond, diamond_traffic):
+        balanced = evaluate(diamond, diamond_phi(0.5), diamond_traffic)
+        lopsided = evaluate(diamond, diamond_phi(1.0), diamond_traffic)
+        assert balanced.total_delay < lopsided.total_delay
+
+    def test_flow_delays_ms(self, diamond, diamond_traffic):
+        ev = evaluate(diamond, diamond_phi(0.5), diamond_traffic)
+        assert ev.flow_delays_ms()["hot"] == pytest.approx(
+            ev.flow_delays["hot"] * 1e3
+        )
+
+    def test_strict_mode_saturated_is_infinite(self, diamond):
+        heavy = TrafficMatrix([Flow("s", "t", 2500.0, name="over")])
+        ev = evaluate(diamond, diamond_phi(0.5), heavy, strict=True)
+        assert ev.total_delay == float("inf")
+
+
+class TestDestinationSuccessors:
+    def test_only_positive_fractions(self):
+        phi = {"s": {"t": {"a": 1.0, "b": 0.0}}}
+        succ = destination_successors(phi, "t")
+        assert succ["s"] == ["a"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(split=st.floats(0.0, 1.0), rate=st.floats(1.0, 900.0))
+def test_conservation_property(split, rate):
+    """Injected = delivered for any split and feasible rate."""
+    phi = diamond_phi(split)
+    t = node_flows(phi, {"s": rate}, "t")
+    assert t["t"] == pytest.approx(rate, rel=1e-9)

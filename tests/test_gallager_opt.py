@@ -1,0 +1,153 @@
+"""Gallager's OPT: descent, optimality, and a convex-programming oracle."""
+
+import numpy as np
+import pytest
+from scipy import optimize as sciopt
+
+from repro.exceptions import RoutingError
+from repro.fluid.delay import DelayModel
+from repro.fluid.evaluator import evaluate, link_flows
+from repro.fluid.flows import Flow, TrafficMatrix
+from repro.gallager.opt import optimize, shortest_path_phi
+from repro.gallager.marginals import optimality_gap
+from repro.graph.generators import random_connected
+from repro.fluid.flows import uniform_random_rates
+
+
+class TestShortestPathPhi:
+    def test_is_single_path(self, diamond):
+        phi = shortest_path_phi(diamond, ["t"])
+        for node in ("s", "a", "b"):
+            assert list(phi[node]["t"].values()) == [1.0]
+
+    def test_unreachable_destination_left_empty(self):
+        from repro.graph.topology import Topology
+
+        topo = Topology()
+        topo.add_duplex_link("a", "b")
+        topo.add_node("z")  # isolated
+        phi = shortest_path_phi(topo, ["z"])
+        assert phi["a"] == {} and phi["b"] == {}
+
+    def test_respects_custom_costs(self, diamond):
+        costs = {ln.link_id: 1.0 for ln in diamond.links()}
+        costs[("s", "a")] = 100.0  # push everything via b
+        phi = shortest_path_phi(diamond, ["t"], costs)
+        assert phi["s"]["t"] == {"b": 1.0}
+
+
+class TestDescent:
+    def test_monotone_history(self, diamond, diamond_traffic):
+        result = optimize(diamond, diamond_traffic, eta=0.2, max_iterations=500)
+        for earlier, later in zip(result.history, result.history[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_improves_over_shortest_path(self, diamond, diamond_traffic):
+        result = optimize(diamond, diamond_traffic, eta=0.2, max_iterations=500)
+        assert result.total_delay < result.initial_delay * 0.9
+
+    def test_converged_flag(self, diamond, diamond_traffic):
+        result = optimize(
+            diamond, diamond_traffic, eta=0.3, max_iterations=2000
+        )
+        assert result.converged
+
+    def test_eta_controls_speed(self, diamond, diamond_traffic):
+        slow = optimize(
+            diamond, diamond_traffic, eta=0.01, max_iterations=4000
+        )
+        fast = optimize(
+            diamond, diamond_traffic, eta=0.3, max_iterations=4000
+        )
+        assert fast.iterations < slow.iterations
+
+    def test_property1_preserved(self, diamond, diamond_traffic):
+        result = optimize(diamond, diamond_traffic, eta=0.2, max_iterations=300)
+        for node, per_dest in result.phi.items():
+            for dest, fractions in per_dest.items():
+                assert all(v >= 0 for v in fractions.values())
+                assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_splits_the_diamond_evenly(self, diamond, diamond_traffic):
+        """By symmetry the optimum splits the hot flow 50/50."""
+        result = optimize(
+            diamond, diamond_traffic, eta=0.3, max_iterations=3000
+        )
+        fractions = result.phi["s"]["t"]
+        assert fractions.get("a", 0.0) == pytest.approx(0.5, abs=0.02)
+        assert fractions.get("b", 0.0) == pytest.approx(0.5, abs=0.02)
+
+
+class TestOptimalityConditions:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_gap_small_on_random_networks(self, seed):
+        topo = random_connected(8, extra_links=6, seed=seed)
+        pairs = [(0, 5), (3, 1), (6, 2), (7, 4)]
+        traffic = uniform_random_rates(pairs, 100.0, 300.0, seed=seed)
+        result = optimize(topo, traffic, eta=0.1, max_iterations=4000)
+        assert optimality_gap(topo, result.phi, traffic) < 0.05
+
+
+class TestScipyOracle:
+    """Path-flow convex program on the diamond as ground truth."""
+
+    def _oracle_total_delay(self, topo, rate):
+        model = DelayModel.for_topology(topo)
+        paths = [
+            ["s", "a", "t"],
+            ["s", "b", "t"],
+            ["s", "a", "b", "t"],
+            ["s", "b", "a", "t"],
+        ]
+
+        def total(x):
+            flows = {}
+            for path, amount in zip(paths, x):
+                for u, v in zip(path, path[1:]):
+                    flows[(u, v)] = flows.get((u, v), 0.0) + amount
+            return model.total_delay(flows)
+
+        constraints = [
+            {"type": "eq", "fun": lambda x: np.sum(x) - rate},
+        ]
+        best = None
+        for start in ([rate, 0, 0, 0], [rate / 2, rate / 2, 0, 0]):
+            res = sciopt.minimize(
+                total,
+                np.array(start, dtype=float),
+                bounds=[(0, rate)] * 4,
+                constraints=constraints,
+                method="SLSQP",
+                options={"maxiter": 500, "ftol": 1e-12},
+            )
+            if best is None or res.fun < best:
+                best = res.fun
+        return best
+
+    @pytest.mark.parametrize("rate", [200.0, 600.0, 900.0])
+    def test_matches_convex_optimum(self, diamond, rate):
+        traffic = TrafficMatrix([Flow("s", "t", rate, name="hot")])
+        result = optimize(diamond, traffic, eta=0.3, max_iterations=4000)
+        oracle = self._oracle_total_delay(diamond, rate)
+        assert result.total_delay == pytest.approx(oracle, rel=0.01)
+        # and never better than the true optimum
+        assert result.total_delay >= oracle - 1e-6
+
+
+class TestEvaluationConsistency:
+    def test_result_phi_evaluates_to_reported_delay(
+        self, diamond, diamond_traffic
+    ):
+        result = optimize(diamond, diamond_traffic, eta=0.2, max_iterations=500)
+        model = DelayModel.for_topology(diamond)
+        flows = link_flows(result.phi, diamond_traffic)
+        assert model.total_delay(flows) == pytest.approx(result.total_delay)
+
+    def test_multi_destination(self, diamond):
+        traffic = TrafficMatrix(
+            [Flow("s", "t", 400.0), Flow("t", "s", 400.0), Flow("a", "b", 100.0)]
+        )
+        result = optimize(diamond, traffic, eta=0.2, max_iterations=2000)
+        ev = evaluate(diamond, result.phi, traffic)
+        assert ev.max_utilization < 1.0
+        assert result.converged

@@ -1,0 +1,80 @@
+"""The curvature-scaled (Bertsekas-Gallager) OPT variant."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.gallager.marginals import optimality_gap
+from repro.gallager.opt import optimize
+from repro.sim.scenario import net1_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return net1_scenario(load=1.2)
+
+
+class TestCurvatureScaling:
+    def test_unknown_scaling_rejected(self, scenario):
+        with pytest.raises(RoutingError):
+            optimize(scenario.topo, scenario.traffic, scaling="psychic")
+
+    def test_reaches_same_optimum(self, scenario):
+        plain = optimize(
+            scenario.topo, scenario.traffic, eta=0.1, max_iterations=4000
+        )
+        scaled = optimize(
+            scenario.topo,
+            scenario.traffic,
+            eta=0.2,
+            max_iterations=500,
+            scaling="curvature",
+        )
+        assert scaled.converged
+        assert scaled.total_delay == pytest.approx(
+            plain.total_delay, rel=1e-3
+        )
+
+    def test_converges_much_faster(self, scenario):
+        plain = optimize(
+            scenario.topo, scenario.traffic, eta=0.1, max_iterations=4000
+        )
+        scaled = optimize(
+            scenario.topo,
+            scenario.traffic,
+            eta=0.2,
+            max_iterations=4000,
+            scaling="curvature",
+        )
+        assert scaled.iterations < plain.iterations / 5
+
+    def test_monotone_descent_at_safe_eta(self, scenario):
+        scaled = optimize(
+            scenario.topo,
+            scenario.traffic,
+            eta=0.2,
+            max_iterations=300,
+            scaling="curvature",
+        )
+        for a, b in zip(scaled.history, scaled.history[1:]):
+            assert b <= a + 1e-9
+
+    def test_satisfies_optimality_conditions(self, scenario):
+        scaled = optimize(
+            scenario.topo,
+            scenario.traffic,
+            eta=0.2,
+            max_iterations=500,
+            scaling="curvature",
+        )
+        gap = optimality_gap(scenario.topo, scaled.phi, scenario.traffic)
+        assert gap < 0.05
+
+    def test_diamond_split(self, diamond, diamond_traffic):
+        scaled = optimize(
+            diamond,
+            diamond_traffic,
+            eta=0.2,
+            max_iterations=500,
+            scaling="curvature",
+        )
+        assert scaled.phi["s"]["t"]["a"] == pytest.approx(0.5, abs=0.02)

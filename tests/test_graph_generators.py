@@ -1,0 +1,79 @@
+"""Synthetic topology generators."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.graph.generators import complete, grid, line, random_connected, ring
+
+
+class TestLine:
+    def test_shape(self):
+        topo = line(5)
+        assert topo.num_nodes == 5
+        assert topo.num_links == 8  # 4 duplex links
+        assert topo.diameter() == 4
+
+    def test_single_node(self):
+        assert line(1).num_nodes == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(TopologyError):
+            line(0)
+
+
+class TestRing:
+    def test_shape(self):
+        topo = ring(6)
+        assert topo.num_nodes == 6
+        assert all(topo.degree(n) == 2 for n in topo.nodes)
+        assert topo.diameter() == 3
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+
+class TestGrid:
+    def test_shape(self):
+        topo = grid(3, 4)
+        assert topo.num_nodes == 12
+        # 3*3 horizontal + 2*4 vertical duplex links
+        assert topo.num_links == 2 * (3 * 3 + 2 * 4)
+        assert topo.diameter() == 5
+
+    def test_degenerate_1x1(self):
+        assert grid(1, 1).num_nodes == 1
+
+
+class TestComplete:
+    def test_shape(self):
+        topo = complete(5)
+        assert topo.num_links == 5 * 4
+        assert topo.diameter() == 1
+
+
+class TestRandomConnected:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_always_connected(self, seed):
+        topo = random_connected(15, extra_links=5, seed=seed)
+        assert topo.is_connected()
+        assert topo.is_symmetric()
+
+    def test_link_count(self):
+        topo = random_connected(10, extra_links=4, seed=1)
+        assert topo.num_links == 2 * (9 + 4)
+
+    def test_reproducible(self):
+        a = random_connected(10, extra_links=3, seed=42, jitter=0.3)
+        b = random_connected(10, extra_links=3, seed=42, jitter=0.3)
+        assert {l.link_id for l in a.links()} == {l.link_id for l in b.links()}
+        assert [l.capacity for l in a.links()] == [l.capacity for l in b.links()]
+
+    def test_jitter_varies_attributes(self):
+        topo = random_connected(10, extra_links=3, seed=0, jitter=0.4)
+        caps = {ln.capacity for ln in topo.links()}
+        assert len(caps) > 1
+
+    def test_too_many_chords_rejected(self):
+        with pytest.raises(TopologyError):
+            random_connected(4, extra_links=100, seed=0)

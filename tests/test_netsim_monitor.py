@@ -1,0 +1,93 @@
+"""Measurement plumbing: link windows and flow statistics."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.netsim.monitor import (
+    FlowMonitor,
+    LinkMonitor,
+    check_hop_limit,
+    hop_limit,
+)
+from repro.netsim.packet import Packet
+
+
+class TestLinkMonitor:
+    def test_window_flow_and_delay(self):
+        monitor = LinkMonitor(prop_delay=1e-3)
+        monitor.record(0.010)
+        monitor.record(0.020)
+        m = monitor.take_window(now=2.0)
+        assert m.flow == pytest.approx(1.0)  # 2 packets / 2 seconds
+        assert m.per_unit_delay == pytest.approx(0.015 + 1e-3)
+
+    def test_window_resets(self):
+        monitor = LinkMonitor(prop_delay=0.0)
+        monitor.record(0.01)
+        monitor.take_window(now=1.0)
+        m = monitor.take_window(now=3.0)
+        assert m.flow == 0.0
+
+    def test_empty_window_reports_idle(self):
+        monitor = LinkMonitor(prop_delay=2e-3)
+        m = monitor.take_window(now=1.0)
+        assert m.flow == 0.0
+        assert m.per_unit_delay == pytest.approx(2e-3)
+
+    def test_zero_length_window_rejected(self):
+        monitor = LinkMonitor(prop_delay=0.0)
+        with pytest.raises(SimulationError):
+            monitor.take_window(now=0.0)
+
+    def test_total_packets_not_reset(self):
+        monitor = LinkMonitor(prop_delay=0.0)
+        monitor.record(0.01)
+        monitor.take_window(now=1.0)
+        monitor.record(0.01)
+        assert monitor.total_packets == 2
+
+
+class TestFlowMonitor:
+    def test_delivery_statistics(self):
+        monitor = FlowMonitor()
+        p = Packet("f", "a", "b", created_at=1.0)
+        p.hops = 3
+        monitor.note_injected("f")
+        monitor.note_delivered(p, now=1.5)
+        rec = monitor.flows["f"]
+        assert rec.delivered == 1
+        assert rec.mean_delay == pytest.approx(0.5)
+        assert rec.mean_hops == 3
+        assert rec.max_delay == pytest.approx(0.5)
+
+    def test_in_flight_accounting(self):
+        monitor = FlowMonitor()
+        monitor.note_injected("f")
+        monitor.note_injected("f")
+        monitor.note_injected("g")
+        monitor.note_no_route()
+        p = Packet("f", "a", "b", 0.0)
+        monitor.note_delivered(p, now=1.0)
+        assert monitor.total_injected() == 3
+        assert monitor.total_delivered() == 1
+        assert monitor.in_flight() == 1
+
+    def test_mean_delays_empty(self):
+        assert FlowMonitor().mean_delays() == {}
+
+
+class TestHopLimit:
+    def test_scales_with_network(self):
+        assert hop_limit(100) == 800
+        assert hop_limit(2) == 32  # floor for tiny networks
+
+    def test_check_raises_beyond_limit(self):
+        p = Packet("f", "a", "b", 0.0)
+        p.hops = hop_limit(10) + 1
+        with pytest.raises(SimulationError):
+            check_hop_limit(p, 10, "r")
+
+    def test_check_passes_within_limit(self):
+        p = Packet("f", "a", "b", 0.0)
+        p.hops = 5
+        check_hop_limit(p, 10, "r")

@@ -1,0 +1,55 @@
+"""The FIFO packet queue."""
+
+import pytest
+
+from repro.netsim.packet import Packet
+from repro.netsim.queueing import FIFOQueue
+
+
+def pkt():
+    return Packet("f", "a", "b", 0.0)
+
+
+class TestFIFOQueue:
+    def test_fifo_order_with_timestamps(self):
+        q = FIFOQueue()
+        p1, p2 = pkt(), pkt()
+        q.push(p1, now=1.0)
+        q.push(p2, now=2.0)
+        out1, t1 = q.pop()
+        out2, t2 = q.pop()
+        assert (out1, t1) == (p1, 1.0)
+        assert (out2, t2) == (p2, 2.0)
+
+    def test_unbounded_by_default(self):
+        q = FIFOQueue()
+        for _ in range(1000):
+            assert q.push(pkt(), 0.0)
+        assert q.dropped == 0
+
+    def test_capacity_drops(self):
+        q = FIFOQueue(capacity=2)
+        assert q.push(pkt(), 0.0)
+        assert q.push(pkt(), 0.0)
+        assert not q.push(pkt(), 0.0)
+        assert q.dropped == 1
+        assert q.enqueued == 2
+
+    def test_max_depth_tracked(self):
+        q = FIFOQueue()
+        for _ in range(5):
+            q.push(pkt(), 0.0)
+        q.pop()
+        q.push(pkt(), 0.0)
+        assert q.max_depth == 5
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FIFOQueue(capacity=-1)
+
+    def test_truthiness(self):
+        q = FIFOQueue()
+        assert not q
+        q.push(pkt(), 0.0)
+        assert q
+        assert len(q) == 1

@@ -1,0 +1,133 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These stress the paper's invariants over generated inputs that the
+per-module suites do not reach: random topologies, random demand
+matrices, random allocation trajectories.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocation import AllocationTable, validate_property1
+from repro.core.lfi import lfi_successors, shortest_successor
+from repro.fluid.delay import DelayModel
+from repro.fluid.evaluator import evaluate, link_flows, node_flows
+from repro.fluid.flows import Flow, TrafficMatrix
+from repro.gallager.marginals import marginal_distances
+from repro.gallager.opt import optimize, shortest_path_phi
+from repro.graph.generators import random_connected
+from repro.graph.validation import is_loop_free
+
+
+def _random_traffic(topo, rng, n_flows=4, max_rate=300.0):
+    nodes = topo.nodes
+    flows = []
+    for i in range(n_flows):
+        src, dst = rng.sample(nodes, 2)
+        flows.append(Flow(src, dst, rng.uniform(10.0, max_rate), name=f"f{i}"))
+    return TrafficMatrix(flows)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_lfi_sets_loop_free_under_random_costs(seed):
+    rng = random.Random(seed)
+    topo = random_connected(9, extra_links=7, seed=seed % 31)
+    costs = {ln.link_id: rng.uniform(0.05, 4.0) for ln in topo.links()}
+    for dest in topo.nodes[:3]:
+        succ = lfi_successors(topo, costs, dest)
+        assert is_loop_free(succ)
+        single = shortest_successor(topo, costs, dest)
+        for node in topo.nodes:
+            if node != dest:
+                assert set(single[node]) <= set(succ[node]) or not single[node]
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_fluid_conservation_on_random_networks(seed):
+    """Every injected packet/s shows up at its destination (Eq. 1)."""
+    rng = random.Random(seed)
+    topo = random_connected(8, extra_links=5, seed=seed % 13)
+    traffic = _random_traffic(topo, rng)
+    phi = shortest_path_phi(topo, traffic.destinations())
+    for dest in traffic.destinations():
+        rates = traffic.rates_to(dest)
+        t = node_flows(phi, rates, dest)
+        assert t[dest] == pytest.approx(sum(rates.values()), rel=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_gallager_never_increases_delay(seed):
+    rng = random.Random(seed)
+    topo = random_connected(7, extra_links=5, seed=seed % 11)
+    traffic = _random_traffic(topo, rng, n_flows=3, max_rate=250.0)
+    result = optimize(topo, traffic, eta=0.1, max_iterations=200)
+    for earlier, later in zip(result.history, result.history[1:]):
+        assert later <= earlier + 1e-9
+    # and the final routing parameters stay valid everywhere
+    for node, per_dest in result.phi.items():
+        for dest, fractions in per_dest.items():
+            validate_property1(fractions, fractions.keys())
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_gallager_marginal_distance_bounds_shortest_path(seed):
+    """delta_ij >= shortest marginal-cost distance (it is phi-weighted)."""
+    rng = random.Random(seed)
+    topo = random_connected(7, extra_links=4, seed=seed % 7)
+    traffic = _random_traffic(topo, rng, n_flows=2)
+    phi = shortest_path_phi(topo, traffic.destinations())
+    model = DelayModel.for_topology(topo)
+    costs = model.marginals(link_flows(phi, traffic))
+    from repro.graph.shortest_paths import bellman_ford
+
+    for dest in traffic.destinations():
+        delta = marginal_distances(phi, dest, costs)
+        best = bellman_ford(costs, dest, nodes=topo.nodes)
+        for node, value in delta.items():
+            if value != float("inf"):
+                assert value >= best[node] - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    steps=st.integers(1, 25),
+)
+def test_allocation_table_property1_through_random_trajectory(seed, steps):
+    """Any sequence of successor sets and distances keeps Property 1."""
+    rng = random.Random(seed)
+    table = AllocationTable("r", damping=rng.choice([0.5, 1.0]))
+    neighbors = ["a", "b", "c", "d"]
+    for _ in range(steps):
+        size = rng.randint(0, 4)
+        chosen = rng.sample(neighbors, size)
+        via = {k: rng.uniform(0.001, 5.0) for k in chosen}
+        phi = table.update("j", via)
+        validate_property1(phi, via.keys())
+        if via:
+            assert sum(phi.values()) == pytest.approx(1.0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_evaluate_consistent_total_vs_per_flow(seed):
+    """Sum over flows of rate*delay equals D_T when every link has a
+    single destination's traffic... more generally the total equals the
+    flow-weighted sum of per-flow delays (both count every packet-second
+    exactly once)."""
+    rng = random.Random(seed)
+    topo = random_connected(7, extra_links=4, seed=seed % 5)
+    traffic = _random_traffic(topo, rng, n_flows=3, max_rate=200.0)
+    phi = shortest_path_phi(topo, traffic.destinations())
+    ev = evaluate(topo, phi, traffic)
+    weighted = sum(
+        flow.rate * ev.flow_delays[flow.label()] for flow in traffic.flows
+    )
+    assert weighted == pytest.approx(ev.total_delay, rel=1e-6)

@@ -1,0 +1,24 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.units import PACKET_SIZE_BITS, mbps, ms, to_mbps
+
+
+class TestConversions:
+    def test_ten_mbps_is_1250_pps(self):
+        assert mbps(10) == pytest.approx(1250.0)
+
+    def test_roundtrip(self):
+        for rate in (0.5, 1.0, 10.0, 155.0):
+            assert to_mbps(mbps(rate)) == pytest.approx(rate)
+
+    def test_packet_size_consistent(self):
+        assert PACKET_SIZE_BITS == 8000
+
+    def test_ms(self):
+        assert ms(0.0045) == pytest.approx(4.5)
+
+    def test_zero(self):
+        assert mbps(0) == 0.0
+        assert to_mbps(0) == 0.0
