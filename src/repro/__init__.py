@@ -64,6 +64,10 @@ from repro.fluid import (
 from repro.gallager import optimize as gallager_optimize
 from repro.gallager import optimality_gap
 from repro.graph import Topology, cairn, net1
+from repro.obs import Observation, observe
+from repro.obs import current as observation
+from repro.obs import start as start_observation
+from repro.obs import stop as stop_observation
 from repro.sim import (
     QuasiStaticConfig,
     RunResult,
@@ -118,6 +122,12 @@ __all__ = [
     "RunResult",
     "PacketRunConfig",
     "run_packet_level",
+    # observability
+    "Observation",
+    "observe",
+    "observation",
+    "start_observation",
+    "stop_observation",
     # units
     "mbps",
     "to_mbps",

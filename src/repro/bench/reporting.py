@@ -5,6 +5,11 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 
+def _empty_table(title: str, unit: str) -> str:
+    """Stub rendering for a figure with no series at all."""
+    return "\n".join([title, "(no series)", f"(values in {unit})"])
+
+
 def render_flow_table(
     title: str,
     series: Mapping[str, Mapping[str, float]],
@@ -14,9 +19,12 @@ def render_flow_table(
     """A per-flow table: rows are flow ids, columns are run labels.
 
     This is the textual form of Figs. 9-12 (flow id on the x-axis, one
-    curve per run label).
+    curve per run label).  An empty ``series`` yields a stub table
+    rather than a crash (``max(10, *())`` would raise TypeError).
     """
     labels = list(series)
+    if not labels:
+        return _empty_table(title, unit)
     flows: list[str] = []
     for values in series.values():
         for flow in values:
@@ -48,9 +56,12 @@ def render_series(
 ) -> str:
     """An (x, y) table: rows are x values, columns are run labels.
 
-    The textual form of Figs. 13-14 (Tl on the x-axis).
+    The textual form of Figs. 13-14 (Tl on the x-axis).  An empty
+    ``series`` yields a stub table, as in :func:`render_flow_table`.
     """
     labels = list(series)
+    if not labels:
+        return _empty_table(title, unit)
     xs: list[float] = []
     for points in series.values():
         for x, _ in points:

@@ -4,10 +4,19 @@ Usage::
 
     python -m repro list
     python -m repro run fig09 [--out results.txt]
+    python -m repro run fig09 --trace t.jsonl --metrics-out m.json --timing
     python -m repro run all
+    python -m repro overhead
 
 Equivalent to the ``benchmarks/`` suite but without pytest — handy for
 one-off runs and for piping tables elsewhere.
+
+The observability flags hang an :mod:`repro.obs` session around the run:
+``--trace`` streams structured JSONL events, ``--metrics-out`` writes
+the metrics/timings snapshot as JSON, and ``--timing`` prints the phase
+wall-clock table.  Any of them also upgrades oracle-mode runs to the
+live MPDA control plane so protocol metrics exist (see
+:func:`repro.obs.start`).
 """
 
 from __future__ import annotations
@@ -16,9 +25,12 @@ import argparse
 import sys
 from collections.abc import Callable
 
+from repro import obs
 from repro.bench import figures
 from repro.bench.figures import FigureResult
+from repro.bench.overhead import overhead_experiment, render_overhead_table
 from repro.bench.reporting import render_flow_table, render_series
+from repro.obs.export import render_timings, write_metrics
 
 #: Experiment registry: id -> (factory, description).
 EXPERIMENTS: dict[str, tuple[Callable[[], FigureResult], str]] = {
@@ -88,7 +100,93 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the rendered tables to this file",
     )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSONL event trace to this file",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics/timings snapshot as JSON to this file",
+    )
+    run.add_argument(
+        "--timing",
+        action="store_true",
+        help="print per-phase wall-clock timings after the run",
+    )
+
+    overhead = sub.add_parser(
+        "overhead",
+        help="control-message overhead: MPDA vs. LSA flooding",
+    )
+    overhead.add_argument(
+        "--epochs",
+        type=int,
+        default=5,
+        metavar="N",
+        help="number of cost-change update epochs (default 5)",
+    )
+    overhead.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="seed for cost jitter and delivery interleaving",
+    )
+    overhead.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the rendered table to this file",
+    )
     return parser
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    observing = args.trace or args.metrics_out or args.timing
+    if args.metrics_out:
+        # Fail before the (possibly long) run, not after it: truncate
+        # the output file now, exactly as --trace does with its sink.
+        open(args.metrics_out, "w").close()
+    observation = (
+        obs.start(trace_path=args.trace) if observing else None
+    )
+    try:
+        chunks: list[str] = []
+        for name in names:
+            factory, _ = EXPERIMENTS[name]
+            text = render(factory())
+            chunks.append(text)
+            print(text)
+            print()
+        if observation is not None:
+            if args.metrics_out:
+                write_metrics(args.metrics_out, observation)
+            if args.timing:
+                print(render_timings(observation))
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write("\n\n".join(chunks) + "\n")
+    finally:
+        if observation is not None:
+            obs.stop()
+    return 0
+
+
+def _run_overhead(args: argparse.Namespace) -> int:
+    reports = overhead_experiment(epochs=args.epochs, seed=args.seed)
+    text = render_overhead_table(reports)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -100,20 +198,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:16} {description}")
         return 0
 
-    names = sorted(EXPERIMENTS) if args.experiment == "all" else [
-        args.experiment
-    ]
-    chunks: list[str] = []
-    for name in names:
-        factory, _ = EXPERIMENTS[name]
-        text = render(factory())
-        chunks.append(text)
-        print(text)
-        print()
-    if args.out:
-        with open(args.out, "w") as fh:
-            fh.write("\n\n".join(chunks) + "\n")
-    return 0
+    if args.command == "overhead":
+        return _run_overhead(args)
+
+    return _run_experiments(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -17,7 +17,9 @@ from __future__ import annotations
 import random
 from collections import deque
 from collections.abc import Callable, Mapping
+from time import perf_counter
 
+from repro import obs
 from repro.core.linkstate import INFINITY, LSUMessage
 from repro.core.mpda import MPDARouter, check_safety
 from repro.core.pda import PDARouter
@@ -26,6 +28,9 @@ from repro.graph.shortest_paths import CostMap, dijkstra
 from repro.graph.topology import LinkId, NodeId, Topology
 
 RouterFactory = Callable[[NodeId], PDARouter]
+
+#: Sentinel distinguishing "no observation" from "not looked up yet".
+_UNSET = object()
 
 
 class ProtocolDriver:
@@ -58,6 +63,9 @@ class ProtocolDriver:
         self.check_invariants = check_invariants
         self.delivered = 0
         self._started = False
+        #: node -> (perf_counter at ACTIVE entry, deliveries at entry);
+        #: feeds the ACTIVE-phase duration histograms when observing.
+        self._active_since: dict[NodeId, tuple[float, int]] = {}
 
     # ------------------------------------------------------------------
     # driving events
@@ -69,9 +77,9 @@ class ProtocolDriver:
         self._started = True
         for node, router in self.routers.items():
             for nbr in self.topo.neighbors(node):
-                router.link_up(nbr, self._cost_for(costs, node, nbr))
-                self._collect(router)
-                self._maybe_check()
+                self._event(
+                    router, router.link_up, nbr, self._cost_for(costs, node, nbr)
+                )
 
     def set_costs(self, costs: Mapping[LinkId, float]) -> None:
         """Inject adjacent-link cost changes (e.g. new marginal delays)."""
@@ -82,9 +90,7 @@ class ProtocolDriver:
                 raise TopologyError(f"link {head!r}->{tail!r} is not up")
             if router.link_costs[tail] == cost:
                 continue
-            router.link_cost_change(tail, cost)
-            self._collect(router)
-            self._maybe_check()
+            self._event(router, router.link_cost_change, tail, cost)
 
     def fail_link(self, a: NodeId, b: NodeId) -> None:
         """Fail the duplex link ``a <-> b``, dropping in-flight messages."""
@@ -94,17 +100,13 @@ class ProtocolDriver:
         for head, tail in ((a, b), (b, a)):
             router = self.routers[head]
             if tail in router.link_costs:
-                router.link_down(tail)
-                self._collect(router)
-                self._maybe_check()
+                self._event(router, router.link_down, tail)
 
     def restore_link(self, a: NodeId, b: NodeId, cost_ab: float, cost_ba: float) -> None:
         """Bring the duplex link ``a <-> b`` back up."""
         self._require_started()
         for head, tail, cost in ((a, b, cost_ab), (b, a, cost_ba)):
-            self.routers[head].link_up(tail, cost)
-            self._collect(self.routers[head])
-            self._maybe_check()
+            self._event(self.routers[head], self.routers[head].link_up, tail, cost)
 
     # ------------------------------------------------------------------
     # message pump
@@ -113,29 +115,44 @@ class ProtocolDriver:
         """Messages currently in flight."""
         return sum(len(q) for q in self._channels.values())
 
-    def step(self) -> bool:
-        """Deliver one in-flight message; False when the network is quiet."""
+    def step(self, _ob: object = _UNSET) -> bool:
+        """Deliver one in-flight message; False when the network is quiet.
+
+        ``_ob`` lets :meth:`run` hoist the observation lookup out of the
+        delivery loop; direct callers leave it unset.
+        """
         busy = [link_id for link_id, q in self._channels.items() if q]
         if not busy:
             return False
+        ob = obs.current() if _ob is _UNSET else _ob
         link_id = self._rng.choice(busy)
         message = self._channels[link_id].popleft()
         receiver = self.routers[link_id[1]]
-        receiver.receive(message)
         self.delivered += 1
-        self._collect(receiver)
-        self._maybe_check()
+        if ob is not None and ob.tracer.enabled:
+            ob.tracer.event(
+                "lsu_deliver",
+                link=link_id,
+                entries=len(message.entries),
+                ack=message.ack,
+            )
+        self._event_ob(receiver, ob, receiver.receive, message)
         return True
 
     def run(self, max_messages: int = 1_000_000) -> int:
         """Deliver messages until quiescent; returns deliveries made."""
+        ob = obs.current()
         done = 0
-        while self.step():
-            done += 1
-            if done > max_messages:
-                raise ConvergenceError(
-                    f"protocol did not quiesce within {max_messages} messages"
-                )
+        with obs.phase(ob, "protocol.driver.run"):
+            while self.step(ob):
+                done += 1
+                if done > max_messages:
+                    raise ConvergenceError(
+                        f"protocol did not quiesce within {max_messages} "
+                        "messages"
+                    )
+        if ob is not None:
+            self.harvest_metrics(ob.metrics)
         return done
 
     # ------------------------------------------------------------------
@@ -208,9 +225,83 @@ class ProtocolDriver:
             "mtu_runs": sum(r.mtu_runs for r in self.routers.values()),
         }
 
+    def harvest_metrics(self, registry) -> None:
+        """Copy cumulative per-router protocol counters into gauges.
+
+        Gauges (not counters) because the router-side totals are already
+        cumulative — repeated harvests after successive ``run()`` calls
+        overwrite rather than double-count.
+        """
+        registry.gauge("protocol.deliveries").set(self.delivered)
+        for node, router in self.routers.items():
+            registry.gauge("protocol.lsu_sent", router=node).set(
+                router.lsu_sent
+            )
+            registry.gauge("protocol.lsu_received", router=node).set(
+                router.lsu_received
+            )
+            registry.gauge("protocol.mtu_runs", router=node).set(
+                router.mtu_runs
+            )
+            if isinstance(router, MPDARouter):
+                registry.gauge("protocol.transitions", router=node).set(
+                    router.transitions
+                )
+                registry.gauge("protocol.acks_received", router=node).set(
+                    router.acks_received
+                )
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _event(self, router: PDARouter, fn, *args) -> None:
+        self._event_ob(router, obs.current(), fn, *args)
+
+    def _event_ob(self, router: PDARouter, ob, fn, *args) -> None:
+        """Dispatch one router event, then collect and verify.
+
+        With an observation active, MPDA ACTIVE/PASSIVE transitions are
+        detected around the event and fed to the phase histograms; the
+        disabled path adds a single ``None`` check per event.
+        """
+        if ob is None or not isinstance(router, MPDARouter):
+            fn(*args)
+        else:
+            was_passive = router.is_passive()
+            fn(*args)
+            if was_passive != router.is_passive():
+                self._note_phase_change(ob, router, was_passive)
+        self._collect(router)
+        self._maybe_check()
+
+    def _note_phase_change(
+        self, ob, router: MPDARouter, was_passive: bool
+    ) -> None:
+        node = router.node_id
+        if was_passive:
+            self._active_since[node] = (perf_counter(), self.delivered)
+            ob.metrics.counter("protocol.active_entries", router=node).inc()
+            if ob.tracer.enabled:
+                ob.tracer.event(
+                    "active_enter", node=node, delivered=self.delivered
+                )
+        else:
+            started = self._active_since.pop(node, None)
+            if started is None:
+                return  # entered ACTIVE before observation began
+            elapsed = perf_counter() - started[0]
+            messages = self.delivered - started[1]
+            ob.metrics.histogram(
+                "protocol.active_phase_seconds", router=node
+            ).observe(elapsed)
+            ob.metrics.histogram(
+                "protocol.active_phase_messages", router=node
+            ).observe(messages)
+            if ob.tracer.enabled:
+                ob.tracer.event(
+                    "active_exit", node=node, wall_s=elapsed, messages=messages
+                )
+
     def _collect(self, router: PDARouter) -> None:
         """Move a router's outbox into the channels."""
         for nbr, message in router.outbox:

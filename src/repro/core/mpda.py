@@ -62,6 +62,7 @@ class MPDARouter(PDARouter):
         self.feasible_distance: dict[NodeId, float] = {}
         self.successor_sets: dict[NodeId, set[NodeId]] = {}
         self.transitions = 0  # PASSIVE -> ACTIVE count, a protocol metric
+        self.acks_received = 0  # consumed ACKs, one per LSU round-trip
 
     def _outstanding(self) -> bool:
         """True while any sent LSU still awaits its acknowledgment."""
@@ -90,6 +91,7 @@ class MPDARouter(PDARouter):
         self.lsu_received += 1
         if message.ack and self.pending_acks.get(sender, 0) > 0:
             self.pending_acks[sender] -= 1
+            self.acks_received += 1
         if message.entries:
             self._ntu_apply_lsu(message)
             self._after_ntu(lsu_sender=sender)

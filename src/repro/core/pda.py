@@ -60,6 +60,7 @@ class PDARouter:
         self.mtu_runs = 0
         self.lsu_sent = 0
         self.lsu_received = 0
+        self.entries_sent = 0
 
     # ------------------------------------------------------------------
     # events
@@ -181,6 +182,7 @@ class PDARouter:
     def _send(self, neighbor: NodeId, message: LSUMessage) -> None:
         self.outbox.append((neighbor, message))
         self.lsu_sent += 1
+        self.entries_sent += len(message.entries)
 
     def _broadcast(self, entries, ack_to: NodeId | None = None) -> None:
         """Send ``entries`` to every up neighbor (ACK flag to ``ack_to``)."""

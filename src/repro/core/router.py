@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from collections.abc import Mapping
 
+from repro import obs
 from repro.core.allocation import AllocationTable
 from repro.core.driver import ProtocolDriver
 from repro.core.lfi import lfi_successors
@@ -36,7 +37,7 @@ from repro.core.mpda import MPDARouter
 from repro.core.spf import ecmp_successors, restrict_successors
 from repro.exceptions import RoutingError
 from repro.graph.shortest_paths import CostMap, bellman_ford
-from repro.graph.topology import LinkId, NodeId, Topology
+from repro.graph.topology import NodeId, Topology
 from repro.graph.validation import assert_loop_free
 
 INFINITY = float("inf")
@@ -107,10 +108,15 @@ class MPRouting:
     def update_routes(self, long_costs: CostMap) -> None:
         """Recompute successor sets; IH re-seeds changed allocations."""
         self.route_updates += 1
-        if self.mode == "protocol":
-            self._update_routes_protocol(long_costs)
-        else:
-            self._update_routes_oracle(long_costs)
+        ob = obs.current()
+        before = self._successor_snapshot() if ob is not None else None
+        with obs.phase(ob, "routing.update_routes"):
+            if self.mode == "protocol":
+                self._update_routes_protocol(long_costs)
+            else:
+                self._update_routes_oracle(long_costs)
+        if ob is not None:
+            self._record_update(ob, before)
         # Fresh distribution wherever the successor set changed; the
         # AllocationTable notices changes and applies IH, otherwise it
         # adjusts incrementally with AH.
@@ -146,7 +152,35 @@ class MPRouting:
     def adjust_allocation(self, local_costs: CostMap) -> None:
         """Run the allocation heuristics with fresh local link costs."""
         self.allocation_updates += 1
-        self._apply_allocation(local_costs)
+        ob = obs.current()
+        if ob is None:
+            self._apply_allocation(local_costs)
+            return
+        with ob.timers.phase("routing.adjust_allocation"):
+            self._apply_allocation(local_costs)
+        ob.metrics.counter("routing.allocation_updates").inc()
+
+    def _successor_snapshot(self) -> dict[NodeId, dict[NodeId, set[NodeId]]]:
+        return {
+            dest: {node: set(succ) for node, succ in by_node.items()}
+            for dest, by_node in self._successors.items()
+        }
+
+    def _record_update(self, ob, before) -> None:
+        """Count route-flap churn: (node, dest) pairs whose set changed."""
+        churn = 0
+        for dest in self.destinations:
+            old = before.get(dest, {})
+            new = self._successors.get(dest, {})
+            for node in set(old) | set(new):
+                if old.get(node, set()) != set(new.get(node, ())):
+                    churn += 1
+        ob.metrics.counter("routing.route_updates").inc()
+        ob.metrics.counter("routing.successor_churn").inc(churn)
+        if ob.tracer.enabled:
+            ob.tracer.event(
+                "route_update", update=self.route_updates, churn=churn
+            )
 
     def _apply_allocation(self, local_costs: CostMap) -> None:
         for node in self.topo.nodes:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.exceptions import ConvergenceError, RoutingError
 from repro.fluid.delay import DelayModel
 from repro.fluid.evaluator import (
@@ -149,7 +150,54 @@ def optimize(
     )
     total_input = traffic.total_rate()
 
+    ob = obs.current()
     history: list[float] = []
+    with obs.phase(ob, "gallager.optimize"):
+        converged, iterations = _iterate(
+            topo, traffic, model, phi, destinations, total_input,
+            eta, max_iterations, tolerance, patience, scaling, history,
+        )
+
+    flows = link_flows(phi, traffic)
+    final = model.total_delay(flows)
+    if ob is not None:
+        ob.metrics.counter("gallager.iterations").inc(iterations)
+        if ob.tracer.enabled:
+            ob.tracer.event(
+                "opt_done",
+                iterations=iterations,
+                converged=converged,
+                total_delay=final,
+            )
+    if require_convergence and not converged:
+        raise ConvergenceError(
+            f"Gallager's algorithm did not converge in {max_iterations} "
+            f"iterations (last D_T = {final:.6g})"
+        )
+    return GallagerResult(
+        phi=phi,
+        total_delay=final,
+        iterations=iterations,
+        converged=converged,
+        history=history,
+    )
+
+
+def _iterate(
+    topo: Topology,
+    traffic: TrafficMatrix,
+    model: DelayModel,
+    phi: MutablePhi,
+    destinations: list[NodeId],
+    total_input: float,
+    eta: float,
+    max_iterations: int,
+    tolerance: float,
+    patience: int,
+    scaling: str,
+    history: list[float],
+) -> tuple[bool, int]:
+    """The optimization loop proper; returns (converged, iterations)."""
     stalled = 0
     converged = False
     iterations = 0
@@ -195,21 +243,7 @@ def optimize(
                 },
                 dest,
             )
-
-    flows = link_flows(phi, traffic)
-    final = model.total_delay(flows)
-    if require_convergence and not converged:
-        raise ConvergenceError(
-            f"Gallager's algorithm did not converge in {max_iterations} "
-            f"iterations (last D_T = {final:.6g})"
-        )
-    return GallagerResult(
-        phi=phi,
-        total_delay=final,
-        iterations=iterations,
-        converged=converged,
-        history=history,
-    )
+    return converged, iterations
 
 
 def _update_destination(

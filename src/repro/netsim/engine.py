@@ -18,6 +18,7 @@ import itertools
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.exceptions import SimulationError
 
 Callback = Callable[[], None]
@@ -148,7 +149,27 @@ class Engine:
         self, until: float | None = None, max_events: int | None = None
     ) -> None:
         """Process events until the calendar empties, ``until`` is
-        reached (the clock is then advanced to it), or ``max_events``."""
+        reached (the clock is then advanced to it), or ``max_events``.
+
+        When an observation is active, the whole dispatch loop is timed
+        under the ``netsim.engine.run`` phase and the number of events
+        processed is counted — aggregate instrumentation, so the
+        per-event hot path stays untouched either way.
+        """
+        ob = obs.current()
+        if ob is None:
+            self._run(until, max_events)
+            return
+        before = self.processed
+        with ob.timers.phase("netsim.engine.run"):
+            self._run(until, max_events)
+        ob.metrics.counter("netsim.engine.events").inc(
+            self.processed - before
+        )
+
+    def _run(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> None:
         budget = max_events if max_events is not None else float("inf")
         done = 0
         while self._heap and done < budget:

@@ -37,6 +37,9 @@ class SimLink:
         rng: random source for service times.
         service: "exponential" (M/M/1) or "deterministic" (M/D/1).
         queue_capacity: None for the paper's lossless model.
+        on_drop: invoked once per packet this link destroys (queue
+            overflow or link failure), so end-to-end accounting stays
+            balanced under finite buffers.
     """
 
     def __init__(
@@ -48,6 +51,7 @@ class SimLink:
         *,
         service: str = "exponential",
         queue_capacity: int | None = None,
+        on_drop: Callable[[], None] | None = None,
     ) -> None:
         if service not in SERVICE_MODELS:
             raise SimulationError(
@@ -59,6 +63,7 @@ class SimLink:
         self.rng = rng
         self.service = service
         self.queue = FIFOQueue(queue_capacity)
+        self.on_drop = on_drop
         self.monitor = LinkMonitor(link.prop_delay)
         self.busy = False
         self.up = True
@@ -70,12 +75,18 @@ class SimLink:
         """Hand a packet to this link at the current simulated time."""
         if not self.up:
             self.queue.dropped += 1
+            self._note_drop()
             return
         now = self.engine.now
         if self.busy:
-            self.queue.push(packet, now)
+            if not self.queue.push(packet, now):
+                self._note_drop()
         else:
             self._begin_service(packet, arrived=now)
+
+    def _note_drop(self) -> None:
+        if self.on_drop is not None:
+            self.on_drop()
 
     def _begin_service(self, packet: Packet, arrived: float) -> None:
         self.busy = True
@@ -98,6 +109,8 @@ class SimLink:
             self.engine.schedule(
                 self.link.prop_delay, lambda: self.deliver(packet)
             )
+        else:
+            self._note_drop()  # lost with the link mid-transmission
         if self.queue:
             next_packet, enqueue_time = self.queue.pop()
             self._begin_service(next_packet, arrived=enqueue_time)
@@ -111,6 +124,7 @@ class SimLink:
         while self.queue:
             self.queue.pop()
             self.queue.dropped += 1
+            self._note_drop()
 
     def restore(self) -> None:
         self.up = True

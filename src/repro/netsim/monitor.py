@@ -85,12 +85,18 @@ class FlowMonitor:
     flows: dict[str, FlowRecord] = field(default_factory=dict)
     injected: dict[str, int] = field(default_factory=dict)
     no_route_drops: int = 0
+    #: Packets lost at the link layer: queue-overflow drops under a
+    #: finite ``queue_limit`` plus packets destroyed by a link failure.
+    queue_drops: int = 0
 
     def note_injected(self, flow: str) -> None:
         self.injected[flow] = self.injected.get(flow, 0) + 1
 
     def note_no_route(self) -> None:
         self.no_route_drops += 1
+
+    def note_queue_drop(self) -> None:
+        self.queue_drops += 1
 
     def note_delivered(self, packet: Packet, now: float) -> None:
         record = self.flows.setdefault(packet.flow, FlowRecord())
@@ -111,10 +117,16 @@ class FlowMonitor:
     def total_injected(self) -> int:
         return sum(self.injected.values())
 
+    def total_dropped(self) -> int:
+        return self.no_route_drops + self.queue_drops
+
     def in_flight(self) -> int:
         """Packets injected but not delivered (and not dropped)."""
         return (
-            self.total_injected() - self.total_delivered() - self.no_route_drops
+            self.total_injected()
+            - self.total_delivered()
+            - self.no_route_drops
+            - self.queue_drops
         )
 
 

@@ -39,6 +39,9 @@ class PacketNetwork:
         service: link service model ("exponential" or "deterministic").
         estimator: link-cost estimator kind ("mm1" uses true capacities,
             "online" is the capacity-free estimator).
+        queue_capacity: per-link output buffer in packets (None for the
+            paper's lossless model); overflow drops are counted in
+            ``flow_monitor.queue_drops``.
     """
 
     def __init__(
@@ -49,6 +52,7 @@ class PacketNetwork:
         seed: int = 0,
         service: str = "exponential",
         estimator: str = "mm1",
+        queue_capacity: int | None = None,
     ) -> None:
         if estimator not in ESTIMATOR_KINDS:
             raise SimulationError(
@@ -79,6 +83,8 @@ class PacketNetwork:
                 self._deliver_closure(ln.tail),
                 random.Random(master.getrandbits(64)),
                 service=service,
+                queue_capacity=queue_capacity,
+                on_drop=self.flow_monitor.note_queue_drop,
             )
             if estimator == "mm1":
                 self.estimators[ln.link_id] = MM1CostEstimator(
@@ -208,3 +214,29 @@ class PacketNetwork:
     def run(self, until: float) -> None:
         """Advance the simulation to absolute time ``until``."""
         self.engine.run(until=until)
+
+    def harvest_metrics(self, registry) -> None:
+        """Copy data-plane totals into an observation's registry.
+
+        Records end-to-end packet accounting (injected / delivered /
+        dropped / in flight) and per-link queue high-water marks — the
+        occupancy figures behind the paper's buffering discussion.
+        """
+        monitor = self.flow_monitor
+        registry.gauge("netsim.packets_injected").set(
+            monitor.total_injected()
+        )
+        registry.gauge("netsim.packets_delivered").set(
+            monitor.total_delivered()
+        )
+        registry.gauge("netsim.no_route_drops").set(monitor.no_route_drops)
+        registry.gauge("netsim.queue_drops").set(monitor.queue_drops)
+        registry.gauge("netsim.packets_in_flight").set(monitor.in_flight())
+        elapsed = self.engine.now
+        for link_id, link in self.links.items():
+            registry.gauge(
+                "netsim.queue_high_water", link=link_id
+            ).set(link.queue.max_depth)
+            registry.gauge(
+                "netsim.link_utilization", link=link_id
+            ).set(link.utilization(elapsed))

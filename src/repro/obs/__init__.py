@@ -1,0 +1,146 @@
+"""repro.obs — the instrumentation layer (tracing, metrics, timing).
+
+An :class:`Observation` bundles the three instruments:
+
+- a structured event :class:`~repro.obs.trace.Tracer` (JSONL sink);
+- a :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+  histograms;
+- wall-clock :class:`~repro.obs.timing.PhaseTimers` around hot paths.
+
+Instrumented components look up the *current* observation through
+:func:`current`, which returns ``None`` when observability is disabled
+(the default) — the disabled path is a single ``None`` check at run or
+epoch granularity, never per event, keeping the simulators at full
+speed when nobody is watching.
+
+Typical use::
+
+    with obs.observe(trace_path="run.jsonl") as ob:
+        result = run_quasi_static(scenario, config)
+    export.write_metrics("metrics.json", ob)
+
+When an observation is active, quasi-static and packet runs upgrade
+``mode="oracle"`` to ``mode="protocol"`` (for the paper's LFI path
+rule, on stable topologies) so control-plane metrics — per-router LSU
+counts, ACK round-trips, ACTIVE-phase durations — are measured from the
+live MPDA exchange rather than synthesized.  Theorem 4 guarantees (and
+the test suite verifies) that both backends converge to identical
+successor sets, so figure outputs are unaffected.  Pass
+``protocol_control_plane=False`` to keep the oracle backend.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from collections.abc import Iterator
+
+from repro.obs import export
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timing import PhaseTimers, phase
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Observation",
+    "observe",
+    "start",
+    "stop",
+    "current",
+    "phase",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PhaseTimers",
+    "export",
+]
+
+
+class Observation:
+    """One observation session: tracer + metrics + timers.
+
+    Args:
+        tracer: event sink; defaults to the disabled :data:`NULL_TRACER`.
+        metrics: registry to record into (fresh one by default).
+        timers: phase timers (fresh ones by default).
+        protocol_control_plane: when True (default), runners upgrade
+            oracle-mode MP/SP runs to the live MPDA protocol so
+            control-plane metrics are real measurements.
+    """
+
+    def __init__(
+        self,
+        *,
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        timers: PhaseTimers | None = None,
+        protocol_control_plane: bool = True,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.timers = timers if timers is not None else PhaseTimers()
+        self.protocol_control_plane = protocol_control_plane
+
+    def snapshot(self) -> dict:
+        """JSON-ready state (see :func:`repro.obs.export.snapshot`)."""
+        return export.snapshot(self)
+
+    def close(self) -> None:
+        self.tracer.close()
+
+
+#: The active observation; ``None`` means observability is disabled.
+_current: Observation | None = None
+
+
+def current() -> Observation | None:
+    """The active observation, or ``None`` when disabled."""
+    return _current
+
+
+def start(
+    *,
+    trace_path: str | None = None,
+    protocol_control_plane: bool = True,
+) -> Observation:
+    """Begin an observation session and make it current.
+
+    Only one session is current at a time; :func:`observe` restores the
+    previous one on exit, so nested sessions compose.
+    """
+    global _current
+    tracer = Tracer.to_path(trace_path) if trace_path else NULL_TRACER
+    _current = Observation(
+        tracer=tracer, protocol_control_plane=protocol_control_plane
+    )
+    return _current
+
+
+def stop() -> None:
+    """End the current session (flushing and closing its trace sink)."""
+    global _current
+    if _current is not None:
+        _current.close()
+    _current = None
+
+
+@contextlib.contextmanager
+def observe(
+    *,
+    trace_path: str | None = None,
+    protocol_control_plane: bool = True,
+) -> Iterator[Observation]:
+    """Context manager form of :func:`start` / :func:`stop`."""
+    global _current
+    previous = _current
+    ob = start(
+        trace_path=trace_path,
+        protocol_control_plane=protocol_control_plane,
+    )
+    try:
+        yield ob
+    finally:
+        ob.close()
+        _current = previous

@@ -1,0 +1,61 @@
+"""Serialization of an observation: metrics JSON and timing tables.
+
+The exported document has two top-level sections::
+
+    {
+      "metrics":  {"counters": {...}, "gauges": {...}, "histograms": {...}},
+      "timings":  {"netsim.engine.run": {"total_s": ..., "calls": ...}, ...}
+    }
+
+which is what ``python -m repro run ... --metrics-out m.json`` writes
+and what :attr:`repro.sim.results.RunResult.metrics` holds.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observation
+
+
+def snapshot(observation: "Observation") -> dict[str, Any]:
+    """The full JSON-ready state of an observation."""
+    return {
+        "metrics": observation.metrics.snapshot(),
+        "timings": observation.timers.as_dict(),
+    }
+
+
+def write_metrics(path: str, observation: "Observation") -> None:
+    """Write the observation snapshot to ``path`` as indented JSON."""
+    with open(path, "w") as fh:
+        json.dump(snapshot(observation), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def render_timings(observation: "Observation") -> str:
+    """A plain-text table of the wall-clock phase timers."""
+    timings = observation.timers.as_dict()
+    if not timings:
+        return "timings\n(no phases recorded)"
+    name_width = max(24, max(len(name) for name in timings) + 2)
+    header = (
+        "phase".ljust(name_width)
+        + "total_s".rjust(10)
+        + "calls".rjust(8)
+        + "mean_ms".rjust(10)
+        + "max_ms".rjust(10)
+    )
+    lines = ["timings", "=" * len(header), header, "-" * len(header)]
+    for name, stats in timings.items():
+        lines.append(
+            name.ljust(name_width)
+            + f"{stats['total_s']:.3f}".rjust(10)
+            + f"{stats['calls']:d}".rjust(8)
+            + f"{1e3 * stats['mean_s']:.3f}".rjust(10)
+            + f"{1e3 * stats['max_s']:.3f}".rjust(10)
+        )
+    lines.append("-" * len(header))
+    return "\n".join(lines)

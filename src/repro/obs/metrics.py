@@ -1,0 +1,155 @@
+"""A small metrics registry: counters, gauges, and histograms.
+
+Metrics are identified by a name plus an optional set of labels
+(``registry.counter("protocol.lsu_sent", router="a")``), mirroring the
+Prometheus data model the related SDN controllers use for per-port
+stats — but kept in-process and dependency-free.
+
+- :class:`Counter` — monotonically increasing totals (messages sent,
+  packets dropped, route recomputations);
+- :class:`Gauge` — last-value-wins readings with a high-water mark
+  (queue occupancy, cumulative per-router totals harvested at run end);
+- :class:`Histogram` — moment sketches (count/sum/min/max) of event
+  sizes and durations (ACTIVE-phase lengths, ACK round-trips).
+
+``snapshot()`` renders the whole registry as a JSON-ready dict; label
+values are stringified so arbitrary node-id types serialize cleanly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_INF = float("inf")
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def as_dict(self) -> dict[str, float]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A last-value reading that remembers its high-water mark."""
+
+    __slots__ = ("value", "max_seen")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max_seen = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_seen:
+            self.max_seen = value
+
+    def as_dict(self) -> dict[str, float]:
+        return {"value": self.value, "max": self.max_seen}
+
+
+class Histogram:
+    """A moment sketch: count, sum, min, max (and derived mean)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = _INF
+        self.max = -_INF
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Get-or-create store of labeled metrics."""
+
+    def __init__(self) -> None:
+        #: kind -> name -> label-string -> metric instance
+        self._metrics: dict[str, dict[str, dict[str, Any]]] = {
+            kind: {} for kind in _KINDS
+        }
+
+    @staticmethod
+    def _label_key(labels: dict[str, Any]) -> str:
+        if not labels:
+            return ""
+        return ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+
+    def _get(self, kind: str, name: str, labels: dict[str, Any]) -> Any:
+        by_label = self._metrics[kind].setdefault(name, {})
+        key = self._label_key(labels)
+        metric = by_label.get(key)
+        if metric is None:
+            metric = _KINDS[kind]()
+            by_label[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get("counter", name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get("histogram", name, labels)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels: Any) -> float | None:
+        """The current value of a counter or gauge, or None if absent."""
+        key = self._label_key(labels)
+        for kind in ("counter", "gauge"):
+            metric = self._metrics[kind].get(name, {}).get(key)
+            if metric is not None:
+                return metric.value
+        return None
+
+    def snapshot(self) -> dict[str, dict[str, dict[str, Any]]]:
+        """JSON-ready view: kind -> name -> label-string -> fields."""
+        out: dict[str, dict[str, dict[str, Any]]] = {}
+        for kind, by_name in self._metrics.items():
+            if not by_name:
+                continue
+            section: dict[str, dict[str, Any]] = {}
+            for name in sorted(by_name):
+                section[name] = {
+                    label: metric.as_dict()
+                    for label, metric in sorted(by_name[name].items())
+                }
+            out[kind + "s"] = section
+        return out

@@ -1,0 +1,104 @@
+"""Wall-clock phase timers for the hot paths.
+
+:class:`PhaseTimers` accumulates ``perf_counter`` time per named phase
+("netsim.engine.run", "fluid.route_update", "gallager.optimize", ...)::
+
+    with timers.phase("fluid.route_update"):
+        routing.update_routes(costs)
+
+The :func:`phase` module helper makes call sites observation-agnostic —
+it returns a shared no-op context manager when no observation is
+active, so the disabled path costs one ``None`` check per phase entry
+(phases wrap epoch- and run-granularity work, never per-event work).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+
+class PhaseStats:
+    """Accumulated wall-clock statistics of one phase."""
+
+    __slots__ = ("total_s", "calls", "max_s")
+
+    def __init__(self) -> None:
+        self.total_s = 0.0
+        self.calls = 0
+        self.max_s = 0.0
+
+    def add(self, elapsed: float) -> None:
+        self.total_s += elapsed
+        self.calls += 1
+        if elapsed > self.max_s:
+            self.max_s = elapsed
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "total_s": self.total_s,
+            "calls": self.calls,
+            "max_s": self.max_s,
+            "mean_s": self.total_s / self.calls if self.calls else 0.0,
+        }
+
+
+class _PhaseContext:
+    """One timed ``with`` block; feeds its phase's stats on exit."""
+
+    __slots__ = ("_stats", "_started")
+
+    def __init__(self, stats: PhaseStats) -> None:
+        self._stats = stats
+        self._started = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._started = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stats.add(perf_counter() - self._started)
+
+
+class _NullPhase:
+    """The disabled phase context (shared, allocation-free)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+NULL_PHASE = _NullPhase()
+
+
+class PhaseTimers:
+    """Named wall-clock accumulators."""
+
+    def __init__(self) -> None:
+        self._phases: dict[str, PhaseStats] = {}
+
+    def phase(self, name: str) -> _PhaseContext:
+        """A context manager timing one execution of ``name``."""
+        stats = self._phases.get(name)
+        if stats is None:
+            stats = self._phases[name] = PhaseStats()
+        return _PhaseContext(stats)
+
+    def stats(self, name: str) -> PhaseStats | None:
+        return self._phases.get(name)
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        return {
+            name: self._phases[name].as_dict()
+            for name in sorted(self._phases)
+        }
+
+
+def phase(observation: object | None, name: str):
+    """``observation.timers.phase(name)``, or a no-op when disabled."""
+    if observation is None:
+        return NULL_PHASE
+    return observation.timers.phase(name)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.router import MPRouting
 from repro.exceptions import SimulationError
 from repro.graph.topology import LinkId
@@ -44,6 +45,9 @@ class PacketRunConfig:
     service: str = "exponential"
     estimator: str = "mm1"
     cost_smoothing: float = 0.5
+    #: Per-link output buffer in packets (None = the paper's lossless
+    #: model); overflow drops are counted by the flow monitor.
+    queue_capacity: int | None = None
 
     def __post_init__(self) -> None:
         if self.ts <= 0 or self.tl < self.ts:
@@ -72,11 +76,22 @@ def run_packet_level(
 
     topo = scenario.topo
     traffic = scenario.mean_traffic()
+    ob = obs.current()
+    mode = config.mode
+    if (
+        ob is not None
+        and ob.protocol_control_plane
+        and mode == "oracle"
+        and not getattr(scenario, "outages", None)
+    ):
+        # Same upgrade as the fluid runner: measure the real control
+        # plane (LSU counts, ACTIVE phases) instead of the oracle.
+        mode = "protocol"
     routing = MPRouting(
         topo,
         traffic.destinations(),
         successor_limit=config.successor_limit,
-        mode=config.mode,
+        mode=mode,
         damping=config.damping,
         seed=config.seed,
     )
@@ -88,6 +103,7 @@ def run_packet_level(
         seed=config.seed,
         service=config.service,
         estimator=config.estimator,
+        queue_capacity=config.queue_capacity,
     )
     if isinstance(scenario, BurstyScenario):
         network.attach_onoff(
@@ -108,7 +124,8 @@ def run_packet_level(
 
     def on_tick() -> None:
         state["tick"] += 1
-        costs = network.measure_costs()
+        with obs.phase(ob, "packet.measure"):
+            costs = network.measure_costs()
         # Estimators can momentarily report ~0 on idle links before any
         # traffic; routing requires positive costs.
         floor = {
@@ -127,6 +144,14 @@ def run_packet_level(
             routing.update_routes(smoothed)
         else:
             routing.adjust_allocation(floor)
+        if ob is not None and ob.tracer.enabled:
+            ob.tracer.event(
+                "ts_tick",
+                time=engine.now,
+                tick=state["tick"],
+                delivered=network.flow_monitor.total_delivered(),
+                dropped=network.flow_monitor.total_dropped(),
+            )
 
     engine.every(config.ts, on_tick, tier=2)
     network.run(until=config.duration)
@@ -149,6 +174,9 @@ def run_packet_level(
         )
     )
     result.protocol_stats = routing.protocol_stats()
+    if ob is not None:
+        network.harvest_metrics(ob.metrics)
+        result.metrics = ob.snapshot()
     return result
 
 

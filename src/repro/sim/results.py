@@ -17,6 +17,10 @@ class EpochRecord:
     average_delay: float
     flow_delays: dict[str, float]
     max_utilization: float
+    #: Optional lightweight per-epoch observability readings (route
+    #: update and allocation counters so far); populated only when an
+    #: observation is active.
+    metrics: dict[str, float] | None = None
 
 
 @dataclass
@@ -32,6 +36,9 @@ class RunResult:
     records: list[EpochRecord] = field(default_factory=list)
     warmup: float = 0.0
     protocol_stats: dict[str, int] = field(default_factory=dict)
+    #: Snapshot of the active observation at run end (``{"metrics": ...,
+    #: "timings": ...}``); ``None`` when observability was disabled.
+    metrics: dict | None = None
 
     def _steady(self) -> list[EpochRecord]:
         steady = [r for r in self.records if r.time >= self.warmup]

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.router import MPRouting
 from repro.exceptions import SimulationError
 from repro.fluid.delay import DelayModel
@@ -115,11 +116,12 @@ def run_quasi_static(
     topo = scenario.topo
     model = DelayModel.for_topology(topo, queue_limit=config.queue_limit)
     destinations = scenario.mean_traffic().destinations()
+    ob = obs.current()
     routing = MPRouting(
         topo,
         destinations,
         successor_limit=config.successor_limit,
-        mode=config.mode,
+        mode=_effective_mode(config, scenario, ob),
         path_rule=config.path_rule,
         damping=config.damping,
         seed=config.seed,
@@ -154,14 +156,14 @@ def run_quasi_static(
             routing.update_routes(_without(long_costs, links_down))
 
         traffic = scenario.traffic_at(time)
-        flows = link_flows(routing.phi(), traffic)
-        per_unit = queues.step(flows, config.ts)
-        total_delay = sum(
-            flow * per_unit[link_id] for link_id, flow in flows.items()
-        )
-        total_rate = traffic.total_rate()
-        result.records.append(
-            EpochRecord(
+        with obs.phase(ob, "fluid.epoch"):
+            flows = link_flows(routing.phi(), traffic)
+            per_unit = queues.step(flows, config.ts)
+            total_delay = sum(
+                flow * per_unit[link_id] for link_id, flow in flows.items()
+            )
+            total_rate = traffic.total_rate()
+            record = EpochRecord(
                 time=time,
                 total_delay=total_delay,
                 average_delay=(
@@ -176,7 +178,20 @@ def run_quasi_static(
                     default=0.0,
                 ),
             )
-        )
+        if ob is not None:
+            record.metrics = {
+                "route_updates": float(routing.route_updates),
+                "allocation_updates": float(routing.allocation_updates),
+            }
+            if ob.tracer.enabled:
+                ob.tracer.event(
+                    "epoch",
+                    time=time,
+                    run=config.label,
+                    avg_delay=record.average_delay,
+                    max_utilization=record.max_utilization,
+                )
+        result.records.append(record)
 
         # Measurements at the end of the epoch.
         short_costs = queues.costs(flows, per_unit)
@@ -207,7 +222,32 @@ def run_quasi_static(
             routing.adjust_allocation(_without(short_costs, links_down))
 
     result.protocol_stats = routing.protocol_stats()
+    if ob is not None:
+        result.metrics = ob.snapshot()
     return result
+
+
+def _effective_mode(
+    config: QuasiStaticConfig, scenario: Scenario, ob
+) -> str:
+    """Upgrade oracle runs to the live protocol while observing.
+
+    Control-plane metrics (LSU counts, ACTIVE phases, ACK round-trips)
+    only exist when the real MPDA exchange runs; Theorem 4 makes both
+    backends converge to the same successor sets, so results match.
+    The upgrade is limited to the paper's LFI rule on stable topologies
+    (the oracle handles outages by recomputing over the surviving links,
+    which the protocol backend models differently).
+    """
+    if (
+        ob is not None
+        and ob.protocol_control_plane
+        and config.mode == "oracle"
+        and config.path_rule == "lfi"
+        and not getattr(scenario, "outages", None)
+    ):
+        return "protocol"
+    return config.mode
 
 
 def _without(costs, links_down):
@@ -239,6 +279,7 @@ def run_opt(
     """
     topo = scenario.topo
     traffic = scenario.mean_traffic()
+    ob = obs.current()
     gallager = optimize(
         topo,
         traffic,
@@ -258,4 +299,6 @@ def run_opt(
             max_utilization=evaluation.max_utilization,
         )
     )
+    if ob is not None:
+        result.metrics = ob.snapshot()
     return result, gallager

@@ -1,0 +1,68 @@
+"""The MPDA vs. flooding control-message overhead experiment."""
+
+import pytest
+
+from repro.bench.overhead import (
+    OverheadReport,
+    flood_lsa,
+    flooding_full_update,
+    measure_overhead,
+    render_overhead_table,
+)
+
+
+class TestFlooding:
+    def test_triangle_flood_count(self, triangle):
+        """K3: origin sends 2; each receiver forwards on 1 non-arrival
+        link; the two duplicate receptions are still transmissions."""
+        assert flood_lsa(triangle, "a") == 4
+
+    def test_line_topology_flood_count(self):
+        from repro.graph.topology import Topology
+
+        topo = Topology("line")
+        topo.add_duplex_link("a", "b", capacity=1000.0, prop_delay=1e-3)
+        topo.add_duplex_link("b", "c", capacity=1000.0, prop_delay=1e-3)
+        # a->b, b->c: no duplicates on a line
+        assert flood_lsa(topo, "a") == 2
+        # b floods both ways
+        assert flood_lsa(topo, "b") == 2
+
+    def test_full_update_sums_all_origins(self, triangle):
+        assert flooding_full_update(triangle) == 3 * 4
+
+
+class TestMeasureOverhead:
+    def test_triangle_report(self, triangle):
+        report = measure_overhead(triangle, "K3", epochs=2, seed=1)
+        assert report.topology == "K3"
+        assert report.nodes == 3
+        assert report.links == 6
+        assert report.mpda_cold_start > 0
+        assert len(report.mpda_per_epoch) == 2
+        assert all(count > 0 for count in report.mpda_per_epoch)
+        assert report.flooding_per_epoch == 12
+        assert report.mpda_entries_sent > 0
+
+    def test_deterministic_under_seed(self, triangle):
+        first = measure_overhead(triangle, "K3", epochs=2, seed=7)
+        second = measure_overhead(triangle, "K3", epochs=2, seed=7)
+        assert first.mpda_per_epoch == second.mpda_per_epoch
+
+
+class TestReport:
+    def test_update_ratio(self):
+        report = OverheadReport(
+            topology="T", nodes=3, links=6, epochs=2,
+            mpda_cold_start=10, mpda_per_epoch=[4, 6],
+            flooding_cold_start=12, flooding_per_epoch=12,
+        )
+        assert report.mpda_update_mean == pytest.approx(5.0)
+        assert report.update_ratio == pytest.approx(2.4)
+
+    def test_render_table(self, triangle):
+        report = measure_overhead(triangle, "K3", epochs=1)
+        text = render_overhead_table([report])
+        assert "K3" in text
+        assert "flood/MPDA" in text
+        assert "cold:MPDA" in text

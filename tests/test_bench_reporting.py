@@ -29,6 +29,12 @@ class TestFlowTable:
     def test_unit_note(self):
         assert "(delays in ms)" in render_flow_table("T", {"A": {"f0": 1.0}})
 
+    def test_empty_series_yields_stub(self):
+        """Regression: max(10, *()) used to raise TypeError."""
+        text = render_flow_table("Fig. X", {})
+        assert "Fig. X" in text
+        assert "(no series)" in text
+
 
 class TestSeries:
     def test_rows_are_x_values(self):
@@ -44,3 +50,9 @@ class TestSeries:
     def test_missing_point_dash(self):
         text = render_series("T", {"A": [(1.0, 2.0)], "B": [(3.0, 4.0)]})
         assert "-" in text
+
+    def test_empty_series_yields_stub(self):
+        """Regression: the empty-series TypeError, series variant."""
+        text = render_series("Fig. Y", {})
+        assert "Fig. Y" in text
+        assert "(no series)" in text

@@ -1,7 +1,10 @@
 """The `python -m repro` experiment runner."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.bench.figures import FigureResult
 from repro.cli import EXPERIMENTS, build_parser, main, render
 
@@ -18,6 +21,23 @@ class TestParser:
     def test_all_is_accepted(self):
         args = build_parser().parse_args(["run", "all"])
         assert args.experiment == "all"
+
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["run", "fig09", "--trace", "t.jsonl",
+             "--metrics-out", "m.json", "--timing"]
+        )
+        assert args.trace == "t.jsonl"
+        assert args.metrics_out == "m.json"
+        assert args.timing
+
+    def test_overhead_command(self):
+        args = build_parser().parse_args(
+            ["overhead", "--epochs", "3", "--seed", "9"]
+        )
+        assert args.command == "overhead"
+        assert args.epochs == 3
+        assert args.seed == 9
 
 
 class TestRegistry:
@@ -70,3 +90,44 @@ class TestMain:
         assert main(["run", "fig09", "--out", str(out_file)]) == 0
         assert "fake" in out_file.read_text()
         assert "fake" in capsys.readouterr().out
+
+    def test_run_with_observability_flags(self, tmp_path, capsys, monkeypatch):
+        """The obs flags wrap the run and write trace + metrics files."""
+
+        def fake_experiment():
+            ob = obs.current()
+            assert ob is not None  # flags must activate a session
+            ob.metrics.counter("fake.counter").inc(3)
+            with ob.timers.phase("fake.phase"):
+                pass
+            ob.tracer.event("fake", time=0.0)
+            return FigureResult(
+                figure="fake", claim="none", flow_series={"A": {"f0": 1.0}}
+            )
+
+        monkeypatch.setitem(
+            EXPERIMENTS, "fig09", (fake_experiment, "patched")
+        )
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        code = main([
+            "run", "fig09",
+            "--trace", str(trace),
+            "--metrics-out", str(metrics),
+            "--timing",
+        ])
+        assert code == 0
+        assert obs.current() is None  # session torn down afterwards
+        assert json.loads(trace.read_text())["kind"] == "fake"
+        data = json.loads(metrics.read_text())
+        assert data["metrics"]["counters"]["fake.counter"][""]["value"] == 3
+        assert "fake.phase" in data["timings"]
+        assert "fake.phase" in capsys.readouterr().out  # --timing table
+
+    def test_overhead_prints_both_topologies(self, tmp_path, capsys):
+        out_file = tmp_path / "o.txt"
+        code = main(["overhead", "--epochs", "1", "--out", str(out_file)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "CAIRN" in printed and "NET1" in printed
+        assert "CAIRN" in out_file.read_text()

@@ -46,6 +46,29 @@ class TestLinkMonitor:
         monitor.record(0.01)
         assert monitor.total_packets == 2
 
+    def test_backwards_window_rejected(self):
+        monitor = LinkMonitor(prop_delay=0.0)
+        monitor.take_window(now=2.0)
+        with pytest.raises(SimulationError):
+            monitor.take_window(now=1.0)
+
+    def test_consecutive_windows_partition_records(self):
+        """A record landing after a close belongs to the next window."""
+        monitor = LinkMonitor(prop_delay=0.0)
+        monitor.record(0.01)
+        first = monitor.take_window(now=1.0)
+        monitor.record(0.03)
+        second = monitor.take_window(now=2.0)
+        assert first.flow == pytest.approx(1.0)
+        assert second.flow == pytest.approx(1.0)
+        assert second.per_unit_delay == pytest.approx(0.03)
+
+    def test_tiny_window_scales_flow(self):
+        monitor = LinkMonitor(prop_delay=0.0)
+        monitor.record(0.01)
+        m = monitor.take_window(now=1e-6)
+        assert m.flow == pytest.approx(1e6)
+
 
 class TestFlowMonitor:
     def test_delivery_statistics(self):
@@ -74,6 +97,29 @@ class TestFlowMonitor:
 
     def test_mean_delays_empty(self):
         assert FlowMonitor().mean_delays() == {}
+
+    def test_queue_drops_counted(self):
+        monitor = FlowMonitor()
+        monitor.note_queue_drop()
+        monitor.note_queue_drop()
+        assert monitor.queue_drops == 2
+        assert monitor.total_dropped() == 2
+
+    def test_total_dropped_sums_both_causes(self):
+        monitor = FlowMonitor()
+        monitor.note_no_route()
+        monitor.note_queue_drop()
+        assert monitor.total_dropped() == 2
+
+    def test_in_flight_excludes_queue_drops(self):
+        monitor = FlowMonitor()
+        for _ in range(4):
+            monitor.note_injected("f")
+        monitor.note_queue_drop()
+        monitor.note_no_route()
+        p = Packet("f", "a", "b", 0.0)
+        monitor.note_delivered(p, now=1.0)
+        assert monitor.in_flight() == 1
 
 
 class TestHopLimit:

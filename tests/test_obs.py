@@ -1,0 +1,169 @@
+"""The instrumentation layer: tracer, metrics registry, phase timers."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import render_timings, snapshot, write_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timing import NULL_PHASE, PhaseTimers, phase
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class TestTracer:
+    def test_events_are_parseable_jsonl(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer.to_path(str(path))
+        tracer.event("epoch", time=1.5, node="a", avg_delay=0.01)
+        tracer.event("lsu_deliver", link=("a", "b"), entries=3)
+        tracer.close()
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["kind"] for r in rows] == ["epoch", "lsu_deliver"]
+        assert rows[0]["t"] == 1.5
+        assert rows[0]["node"] == "a"
+        assert rows[1]["entries"] == 3
+
+    def test_non_json_payloads_fall_back_to_repr(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer.to_path(str(path))
+        tracer.event("x", weird={1, 2})  # sets are not JSON
+        tracer.close()
+        assert json.loads(path.read_text())["weird"]
+
+    def test_counts_events(self, tmp_path):
+        tracer = Tracer.to_path(str(tmp_path / "t.jsonl"))
+        tracer.event("a")
+        tracer.event("b")
+        tracer.close()
+        assert tracer.events_written == 2
+
+    def test_null_tracer_is_disabled_noop(self):
+        assert not NULL_TRACER.enabled
+        NULL_TRACER.event("anything", payload=1)  # must not raise
+        NULL_TRACER.flush()
+        NULL_TRACER.close()
+
+
+class TestMetricsRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.counter("x").inc(4)
+        assert reg.value("x") == 5
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("lsu", router="a").inc(2)
+        reg.counter("lsu", router="b").inc(3)
+        assert reg.value("lsu", router="a") == 2
+        assert reg.value("lsu", router="b") == 3
+
+    def test_gauge_set_and_high_water(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth")
+        gauge.set(3.0)
+        gauge.set(1.0)
+        assert reg.value("depth") == 1.0
+        assert gauge.max_seen == 3.0
+
+    def test_histogram_statistics(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("d")
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        assert hist.count == 3
+        assert hist.total == pytest.approx(6.0)
+        assert hist.min == 1.0 and hist.max == 3.0
+        assert hist.mean == pytest.approx(2.0)
+
+    def test_snapshot_structure(self):
+        reg = MetricsRegistry()
+        reg.counter("c", router="a").inc()
+        reg.gauge("g").set(2.0)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"]["router=a"]["value"] == 1
+        assert snap["gauges"]["g"][""]["value"] == 2.0
+        assert snap["histograms"]["h"][""]["count"] == 1
+
+    def test_same_metric_object_reused(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", k="v") is reg.counter("x", k="v")
+
+
+class TestPhaseTimers:
+    def test_accumulates_wall_clock(self):
+        timers = PhaseTimers()
+        with timers.phase("p"):
+            pass
+        with timers.phase("p"):
+            pass
+        stats = timers.stats("p")
+        assert stats.calls == 2
+        assert stats.total_s >= 0.0
+        assert stats.max_s >= 0.0
+
+    def test_module_phase_helper_null_when_disabled(self):
+        assert phase(None, "anything") is NULL_PHASE
+        with phase(None, "anything"):  # no-op context
+            pass
+
+    def test_module_phase_helper_routes_to_observation(self):
+        ob = obs.Observation()
+        with phase(ob, "p"):
+            pass
+        assert ob.timers.stats("p").calls == 1
+
+
+class TestExport:
+    def test_snapshot_keys(self):
+        ob = obs.Observation()
+        ob.metrics.counter("c").inc()
+        with ob.timers.phase("p"):
+            pass
+        snap = snapshot(ob)
+        assert set(snap) == {"metrics", "timings"}
+        assert "p" in snap["timings"]
+
+    def test_write_metrics_round_trips(self, tmp_path):
+        ob = obs.Observation()
+        ob.metrics.gauge("g", link="a->b").set(7.0)
+        path = tmp_path / "m.json"
+        write_metrics(str(path), ob)
+        data = json.loads(path.read_text())
+        assert data["metrics"]["gauges"]["g"]["link=a->b"]["value"] == 7.0
+
+    def test_render_timings_lists_phases(self):
+        ob = obs.Observation()
+        with ob.timers.phase("fluid.epoch"):
+            pass
+        text = render_timings(ob)
+        assert "fluid.epoch" in text
+        assert "total_s" in text
+
+
+class TestSession:
+    def test_disabled_by_default(self):
+        assert obs.current() is None
+
+    def test_start_stop(self):
+        ob = obs.start()
+        try:
+            assert obs.current() is ob
+        finally:
+            obs.stop()
+        assert obs.current() is None
+
+    def test_observe_restores_previous(self):
+        with obs.observe() as outer:
+            with obs.observe() as inner:
+                assert obs.current() is inner
+            assert obs.current() is outer
+        assert obs.current() is None
+
+    def test_observe_writes_trace(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with obs.observe(trace_path=str(path)) as ob:
+            ob.tracer.event("hello", x=1)
+        assert json.loads(path.read_text())["kind"] == "hello"

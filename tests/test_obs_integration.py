@@ -1,0 +1,120 @@
+"""Observability wired through the runners, end to end.
+
+A tiny NET1 run under an active observation must yield the control-plane
+metrics the paper's overhead discussion needs (per-router LSU counts,
+ACTIVE-phase durations) plus phase timings — and produce the same
+figures as the unobserved run (Theorem 4: oracle and protocol backends
+converge to identical successor sets).
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.fluid.flows import Flow, TrafficMatrix
+from repro.sim.packet_runner import PacketRunConfig, run_packet_level
+from repro.sim.runner import QuasiStaticConfig, run_quasi_static
+from repro.sim.scenario import Scenario, net1_scenario
+
+
+def tiny_config(**kwargs) -> QuasiStaticConfig:
+    return QuasiStaticConfig(
+        tl=10.0, ts=2.0, duration=40.0, warmup=10.0, **kwargs
+    )
+
+
+class TestFluidRunner:
+    def test_metrics_snapshot_attached(self):
+        scenario = net1_scenario(load=1.0)
+        with obs.observe():
+            result = run_quasi_static(scenario, tiny_config())
+        assert result.metrics is not None
+        gauges = result.metrics["metrics"]["gauges"]
+        # per-router LSU counts from the live MPDA exchange
+        lsu = gauges["protocol.lsu_sent"]
+        assert len(lsu) == scenario.topo.num_nodes
+        assert sum(v["value"] for v in lsu.values()) > 0
+        # ACTIVE-phase durations
+        active = result.metrics["metrics"]["histograms"][
+            "protocol.active_phase_seconds"
+        ]
+        assert sum(v["count"] for v in active.values()) > 0
+        # phase wall-clock timings
+        assert "fluid.epoch" in result.metrics["timings"]
+        assert "routing.update_routes" in result.metrics["timings"]
+
+    def test_epoch_records_carry_counters(self):
+        with obs.observe():
+            result = run_quasi_static(net1_scenario(load=1.0), tiny_config())
+        assert result.records[-1].metrics["route_updates"] >= 1.0
+
+    def test_observed_run_matches_unobserved(self):
+        """The oracle->protocol upgrade must not change the figures."""
+        scenario = net1_scenario(load=1.0)
+        plain = run_quasi_static(scenario, tiny_config())
+        with obs.observe():
+            observed = run_quasi_static(scenario, tiny_config())
+        assert observed.mean_average_delay() == pytest.approx(
+            plain.mean_average_delay(), rel=1e-6
+        )
+
+    def test_protocol_upgrade_can_be_declined(self):
+        with obs.observe(protocol_control_plane=False) as ob:
+            run_quasi_static(net1_scenario(load=1.0), tiny_config())
+            assert ob.metrics.value("protocol.deliveries") is None
+
+    def test_trace_is_parseable_and_has_epochs(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with obs.observe(trace_path=str(path)):
+            run_quasi_static(net1_scenario(load=1.0), tiny_config())
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {row["kind"] for row in rows}
+        assert "epoch" in kinds
+        assert "lsu_deliver" in kinds
+        assert "route_update" in kinds
+
+    def test_disabled_path_attaches_nothing(self):
+        result = run_quasi_static(net1_scenario(load=1.0), tiny_config())
+        assert result.metrics is None
+        assert result.records[0].metrics is None
+
+
+class TestPacketRunner:
+    def test_queue_drops_counted_and_balanced(self, diamond):
+        scenario = Scenario(
+            name="hot-diamond",
+            topo=diamond,
+            traffic=TrafficMatrix([Flow("s", "t", 1800.0, name="hot")]),
+        )
+        config = PacketRunConfig(
+            tl=4.0, ts=2.0, duration=12.0, warmup=0.0,
+            queue_capacity=2, seed=1,
+        )
+        with obs.observe() as ob:
+            run_packet_level(scenario, config)
+            fm_gauges = ob.metrics
+            injected = fm_gauges.value("netsim.packets_injected")
+            delivered = fm_gauges.value("netsim.packets_delivered")
+            drops = fm_gauges.value("netsim.queue_drops")
+            no_route = fm_gauges.value("netsim.no_route_drops")
+            in_flight = fm_gauges.value("netsim.packets_in_flight")
+        # a 2-packet buffer at 1.8x capacity must overflow
+        assert drops > 0
+        assert in_flight >= 0
+        assert delivered + drops + no_route + in_flight == injected
+
+    def test_packet_metrics_snapshot(self, diamond):
+        scenario = Scenario(
+            name="mild-diamond",
+            topo=diamond,
+            traffic=TrafficMatrix([Flow("s", "t", 300.0, name="x")]),
+        )
+        config = PacketRunConfig(tl=4.0, ts=2.0, duration=12.0, warmup=0.0)
+        with obs.observe():
+            result = run_packet_level(scenario, config)
+        gauges = result.metrics["metrics"]["gauges"]
+        assert gauges["netsim.packets_delivered"][""]["value"] > 0
+        assert "netsim.queue_high_water" in gauges
+        assert "packet.measure" in result.metrics["timings"]
+        assert "netsim.engine.run" in result.metrics["timings"]
