@@ -1,0 +1,124 @@
+"""Performance baseline artifact: ``BENCH_report.json``.
+
+Collects, in one JSON document, the numbers a future change must not
+regress silently:
+
+- the protocol-overhead experiment (MPDA vs. flooding message counts)
+  with its wall-clock runtime;
+- the audited single-link-failure convergence experiment — message
+  counts per convergence window, the audit verdict, and the runtime
+  both with and without the online auditor, which prices the
+  ``sample_every=1`` worst case of the instrument itself.
+
+Message counts are deterministic (seeded interleaving); the ``*_s``
+runtime fields are wall-clock measurements of the machine that produced
+the artifact and serve as an order-of-magnitude reference, not an exact
+contract.  Regenerate with::
+
+    PYTHONPATH=src python -m repro.bench.baseline --out BENCH_report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from time import perf_counter
+from typing import Any
+
+from repro import obs
+from repro.bench.convergence import converge_experiment
+from repro.bench.overhead import overhead_experiment
+
+BASELINE_SCHEMA = "repro.bench/1"
+
+
+def collect_baseline(
+    *,
+    epochs: int = 5,
+    seed: int = 0,
+    topologies: tuple[str, ...] = ("cairn", "net1"),
+) -> dict[str, Any]:
+    """Run both benchmark workloads and assemble the baseline document."""
+    started = perf_counter()
+    overhead_reports = overhead_experiment(epochs=epochs, seed=seed)
+    overhead_s = perf_counter() - started
+
+    started = perf_counter()
+    plain_results = converge_experiment(seed=seed, topologies=topologies)
+    plain_s = perf_counter() - started
+
+    started = perf_counter()
+    with obs.observe(audit=True, audit_sample=1):
+        audited_results = converge_experiment(
+            seed=seed, topologies=topologies
+        )
+    audited_s = perf_counter() - started
+
+    return {
+        "schema": BASELINE_SCHEMA,
+        "generated_by": "python -m repro.bench.baseline",
+        "overhead": {
+            "runtime_s": round(overhead_s, 3),
+            "epochs": epochs,
+            "seed": seed,
+            "topologies": [
+                {
+                    "topology": report.topology,
+                    "nodes": report.nodes,
+                    "links": report.links,
+                    "mpda_cold_start": report.mpda_cold_start,
+                    "mpda_update_mean": round(report.mpda_update_mean, 1),
+                    "flooding_cold_start": report.flooding_cold_start,
+                    "flooding_per_epoch": report.flooding_per_epoch,
+                    "update_ratio": round(report.update_ratio, 2),
+                }
+                for report in overhead_reports
+            ],
+        },
+        "converge": {
+            "seed": seed,
+            "runtime_s": round(plain_s, 3),
+            "audited_runtime_s": round(audited_s, 3),
+            # How much the every-event auditor slows the run down — the
+            # worst-case price of the instrument (sample_every=1).
+            "audit_slowdown": round(audited_s / plain_s, 2)
+            if plain_s > 0
+            else None,
+            "runs": [result.as_dict() for result in audited_results],
+            "plain_runs_match": [
+                plain.as_dict()["cold_messages"]
+                == audited.as_dict()["cold_messages"]
+                for plain, audited in zip(plain_results, audited_results)
+            ],
+        },
+    }
+
+
+def write_baseline(path: str, baseline: dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.baseline",
+        description="regenerate the BENCH_report.json performance baseline",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_report.json",
+        help="output path (default BENCH_report.json)",
+    )
+    parser.add_argument("--epochs", type=int, default=5, metavar="N")
+    parser.add_argument("--seed", type=int, default=0, metavar="S")
+    args = parser.parse_args(argv)
+    baseline = collect_baseline(epochs=args.epochs, seed=args.seed)
+    write_baseline(args.out, baseline)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -7,6 +7,8 @@ Usage::
     python -m repro run fig09 --trace t.jsonl --metrics-out m.json --timing
     python -m repro run all
     python -m repro overhead
+    python -m repro converge --trace t.jsonl --metrics-out m.json
+    python -m repro report t.jsonl --metrics m.json --json report.json
 
 Equivalent to the ``benchmarks/`` suite but without pytest — handy for
 one-off runs and for piping tables elsewhere.
@@ -17,20 +19,32 @@ the metrics/timings snapshot as JSON, and ``--timing`` prints the phase
 wall-clock table.  Any of them also upgrades oracle-mode runs to the
 live MPDA control plane so protocol metrics exist (see
 :func:`repro.obs.start`).
+
+``converge`` runs the audited single-link-failure experiment (the
+online LFI auditor checks every delivery) and ``report`` post-processes
+any trace + metrics pair into a structured run report — both are how
+the EXPERIMENTS.md convergence tables are produced.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Callable
 
 from repro import obs
 from repro.bench import figures
+from repro.bench.convergence import (
+    converge_experiment,
+    render_failover_table,
+)
 from repro.bench.figures import FigureResult
 from repro.bench.overhead import overhead_experiment, render_overhead_table
 from repro.bench.reporting import render_flow_table, render_series
+from repro.obs.convergence import read_trace
 from repro.obs.export import render_timings, write_metrics
+from repro.obs.report import build_report, render_report, write_report
 
 #: Experiment registry: id -> (factory, description).
 EXPERIMENTS: dict[str, tuple[Callable[[], FigureResult], str]] = {
@@ -142,6 +156,82 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the rendered table to this file",
     )
+
+    converge = sub.add_parser(
+        "converge",
+        help=(
+            "audited single-link-failure convergence experiment "
+            "(online LFI/loop check on every delivery)"
+        ),
+    )
+    converge.add_argument(
+        "--topo",
+        choices=["cairn", "net1", "all"],
+        default="all",
+        help="which evaluation topology to run (default all)",
+    )
+    converge.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="delivery-interleaving seed (default 0)",
+    )
+    converge.add_argument(
+        "--audit-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="audit every N-th router event (default 1 = every event)",
+    )
+    converge.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the structured JSONL event trace to this file",
+    )
+    converge.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics/timings snapshot as JSON to this file",
+    )
+    converge.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the rendered table to this file",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="post-process a JSONL trace (+ metrics snapshot) into a run "
+        "report",
+    )
+    report.add_argument(
+        "trace",
+        metavar="TRACE",
+        help="JSONL trace file written by --trace",
+    )
+    report.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="metrics snapshot written by --metrics-out",
+    )
+    report.add_argument(
+        "--json",
+        dest="json_out",
+        metavar="PATH",
+        default=None,
+        help="also write the report as indented JSON to this file",
+    )
+    report.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the rendered text report to this file",
+    )
     return parser
 
 
@@ -179,6 +269,50 @@ def _run_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_converge(args: argparse.Namespace) -> int:
+    topologies = (
+        ("cairn", "net1") if args.topo == "all" else (args.topo,)
+    )
+    observation = obs.start(
+        trace_path=args.trace, audit=True, audit_sample=args.audit_sample
+    )
+    try:
+        results = converge_experiment(
+            seed=args.seed, topologies=topologies
+        )
+        if args.metrics_out:
+            write_metrics(args.metrics_out, observation)
+    finally:
+        obs.stop()
+    text = render_failover_table(results)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    events = read_trace(args.trace)
+    metrics_doc = None
+    if args.metrics:
+        with open(args.metrics) as fh:
+            metrics_doc = json.load(fh)
+    report = build_report(
+        events,
+        metrics_doc,
+        source={"trace": args.trace, "metrics": args.metrics or ""},
+    )
+    if args.json_out:
+        write_report(args.json_out, report)
+    text = render_report(report)
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
 def _run_overhead(args: argparse.Namespace) -> int:
     reports = overhead_experiment(epochs=args.epochs, seed=args.seed)
     text = render_overhead_table(reports)
@@ -200,6 +334,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "overhead":
         return _run_overhead(args)
+
+    if args.command == "converge":
+        return _run_converge(args)
+
+    if args.command == "report":
+        return _run_report(args)
 
     return _run_experiments(args)
 

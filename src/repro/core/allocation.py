@@ -42,6 +42,9 @@ from repro.graph.topology import NodeId
 #: Marginal-distance differences below this (seconds) are treated as ties.
 DISTANCE_EPSILON = 1e-15
 
+#: Routing parameters below this are a drained successor's fp residue.
+PHI_EPSILON = 1e-15
+
 
 def ih(distance_via: Mapping[NodeId, float]) -> dict[NodeId, float]:
     """Initial load assignment over a fresh successor set (Fig. 6).
@@ -129,7 +132,13 @@ def ah(
         if k == best:
             continue
         delta = min(eta * excess[k], phi[k])  # guard fp rounding
-        adjusted[k] = phi[k] - delta
+        remaining = phi[k] - delta
+        if remaining < PHI_EPSILON:
+            # Snap the drained successor to exactly zero: a denormal
+            # residue would pass the phi > 0 guard above and pin eta
+            # near zero on every later step, stalling the adjustment.
+            delta, remaining = phi[k], 0.0
+        adjusted[k] = remaining
         moved += delta
     adjusted[best] = phi[best] + moved
     return adjusted

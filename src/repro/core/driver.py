@@ -75,6 +75,7 @@ class ProtocolDriver:
         if self._started:
             raise RoutingError("driver already started")
         self._started = True
+        self._note_disturbance("start", None)
         for node, router in self.routers.items():
             for nbr in self.topo.neighbors(node):
                 self._event(
@@ -90,11 +91,13 @@ class ProtocolDriver:
                 raise TopologyError(f"link {head!r}->{tail!r} is not up")
             if router.link_costs[tail] == cost:
                 continue
+            self._note_disturbance("link_cost_change", (head, tail))
             self._event(router, router.link_cost_change, tail, cost)
 
     def fail_link(self, a: NodeId, b: NodeId) -> None:
         """Fail the duplex link ``a <-> b``, dropping in-flight messages."""
         self._require_started()
+        self._note_disturbance("link_down", (a, b))
         self._channels[(a, b)].clear()
         self._channels[(b, a)].clear()
         for head, tail in ((a, b), (b, a)):
@@ -105,6 +108,7 @@ class ProtocolDriver:
     def restore_link(self, a: NodeId, b: NodeId, cost_ab: float, cost_ba: float) -> None:
         """Bring the duplex link ``a <-> b`` back up."""
         self._require_started()
+        self._note_disturbance("link_up", (a, b))
         for head, tail, cost in ((a, b, cost_ab), (b, a, cost_ba)):
             self._event(self.routers[head], self.routers[head].link_up, tail, cost)
 
@@ -132,9 +136,11 @@ class ProtocolDriver:
         if ob is not None and ob.tracer.enabled:
             ob.tracer.event(
                 "lsu_deliver",
+                time=ob.sim_time,
                 link=link_id,
                 entries=len(message.entries),
                 ack=message.ack,
+                delivered=self.delivered,
             )
         self._event_ob(receiver, ob, receiver.receive, message)
         return True
@@ -143,6 +149,7 @@ class ProtocolDriver:
         """Deliver messages until quiescent; returns deliveries made."""
         ob = obs.current()
         done = 0
+        started = perf_counter()
         with obs.phase(ob, "protocol.driver.run"):
             while self.step(ob):
                 done += 1
@@ -153,7 +160,36 @@ class ProtocolDriver:
                     )
         if ob is not None:
             self.harvest_metrics(ob.metrics)
+            self._note_quiescent(ob, done, perf_counter() - started)
         return done
+
+    def _note_quiescent(self, ob, messages: int, wall_s: float) -> None:
+        """Close one convergence window: final audit + trace events."""
+        if ob.auditor is not None:
+            # The quiescent state is always audited (regardless of the
+            # sampling cadence) so every window gets a verdict.
+            ob.auditor.audit(
+                self.routers, ob, context="quiescent", delivered=self.delivered
+            )
+        if not ob.tracer.enabled:
+            return
+        ob.tracer.event(
+            "quiescent",
+            time=ob.sim_time,
+            delivered=self.delivered,
+            messages=messages,
+            wall_s=wall_s,
+        )
+        if ob.auditor is not None:
+            summary = ob.auditor.summary()
+            ob.tracer.event(
+                "audit_summary",
+                time=ob.sim_time,
+                checks=summary["checks"],
+                violations=summary["violations"],
+                verdict=summary["verdict"],
+                delivered=self.delivered,
+            )
 
     # ------------------------------------------------------------------
     # verification helpers
@@ -261,18 +297,66 @@ class ProtocolDriver:
         """Dispatch one router event, then collect and verify.
 
         With an observation active, MPDA ACTIVE/PASSIVE transitions are
-        detected around the event and fed to the phase histograms; the
-        disabled path adds a single ``None`` check per event.
+        detected around the event and fed to the phase histograms,
+        distance-vector changes become ``dist_change`` trace events (the
+        raw material of per-destination convergence timelines), and the
+        online auditor — when attached — samples the post-event state;
+        the disabled path adds a single ``None`` check per event.
         """
-        if ob is None or not isinstance(router, MPDARouter):
+        if ob is None:
             fn(*args)
-        else:
+            self._collect(router)
+            self._maybe_check()
+            return
+        tracing = ob.tracer.enabled
+        before_dists = dict(router.distances) if tracing else None
+        if isinstance(router, MPDARouter):
             was_passive = router.is_passive()
             fn(*args)
             if was_passive != router.is_passive():
                 self._note_phase_change(ob, router, was_passive)
+        else:
+            fn(*args)
+        if tracing:
+            self._note_dist_changes(ob, router, before_dists)
         self._collect(router)
         self._maybe_check()
+        if ob.auditor is not None:
+            ob.auditor.on_event(
+                self.routers,
+                ob,
+                context=getattr(fn, "__name__", "event"),
+                delivered=self.delivered,
+            )
+
+    def _note_dist_changes(self, ob, router: PDARouter, before) -> None:
+        """Emit one ``dist_change`` event if the event moved distances."""
+        after = router.distances
+        changed = [
+            dest
+            for dest in before.keys() | after.keys()
+            if before.get(dest) != after.get(dest)
+        ]
+        if changed:
+            ob.tracer.event(
+                "dist_change",
+                time=ob.sim_time,
+                node=router.node_id,
+                dests=sorted(changed, key=repr),
+                delivered=self.delivered,
+            )
+
+    def _note_disturbance(self, op: str, link) -> None:
+        """Mark the start of a convergence window in the trace."""
+        ob = obs.current()
+        if ob is not None and ob.tracer.enabled:
+            ob.tracer.event(
+                "disturbance",
+                time=ob.sim_time,
+                op=op,
+                link=link,
+                delivered=self.delivered,
+            )
 
     def _note_phase_change(
         self, ob, router: MPDARouter, was_passive: bool
@@ -283,7 +367,10 @@ class ProtocolDriver:
             ob.metrics.counter("protocol.active_entries", router=node).inc()
             if ob.tracer.enabled:
                 ob.tracer.event(
-                    "active_enter", node=node, delivered=self.delivered
+                    "active_enter",
+                    time=ob.sim_time,
+                    node=node,
+                    delivered=self.delivered,
                 )
         else:
             started = self._active_since.pop(node, None)
@@ -299,7 +386,11 @@ class ProtocolDriver:
             ).observe(messages)
             if ob.tracer.enabled:
                 ob.tracer.event(
-                    "active_exit", node=node, wall_s=elapsed, messages=messages
+                    "active_exit",
+                    time=ob.sim_time,
+                    node=node,
+                    wall_s=elapsed,
+                    messages=messages,
                 )
 
     def _collect(self, router: PDARouter) -> None:

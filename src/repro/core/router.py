@@ -178,8 +178,13 @@ class MPRouting:
         ob.metrics.counter("routing.route_updates").inc()
         ob.metrics.counter("routing.successor_churn").inc(churn)
         if ob.tracer.enabled:
+            # sim_time is stamped by the runners (None for clock-less
+            # protocol-only runs), so churn series line up with epochs.
             ob.tracer.event(
-                "route_update", update=self.route_updates, churn=churn
+                "route_update",
+                time=ob.sim_time,
+                update=self.route_updates,
+                churn=churn,
             )
 
     def _apply_allocation(self, local_costs: CostMap) -> None:

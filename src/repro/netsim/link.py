@@ -104,7 +104,13 @@ class SimLink:
     def _finish_service(self, packet: Packet, arrived: float) -> None:
         now = self.engine.now
         self.busy_time += now - self._service_started
-        self.monitor.record(now - arrived)
+        # Queueing wait ends when service begins; the split feeds the
+        # end-to-end delay decomposition in the run reports.
+        self.monitor.record(
+            self._service_started - arrived,
+            now - self._service_started,
+            propagated=self.up,
+        )
         if self.up:
             self.engine.schedule(
                 self.link.prop_delay, lambda: self.deliver(packet)

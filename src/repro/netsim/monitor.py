@@ -15,14 +15,17 @@ from repro.core.costs import Measurement
 from repro.exceptions import SimulationError
 from repro.graph.topology import NodeId
 from repro.netsim.packet import Packet
+from repro.obs.metrics import Histogram
 
 
 class LinkMonitor:
     """Windowed flow/delay measurement of one directed link.
 
     ``record`` is called by the link at each packet departure with the
-    packet's time-in-link (queueing + transmission); ``take_window``
-    closes the current window and returns its measurement.
+    packet's queueing wait and transmission (service) time — kept
+    separately so end-to-end delay decomposes into queueing vs
+    transmission vs propagation; ``take_window`` closes the current
+    window and returns its measurement.
     """
 
     def __init__(self, prop_delay: float) -> None:
@@ -31,11 +34,21 @@ class LinkMonitor:
         self._packets = 0
         self._delay_sum = 0.0
         self.total_packets = 0
+        #: Cumulative (whole-run) delay components in seconds.
+        self.total_wait_s = 0.0
+        self.total_service_s = 0.0
+        self.total_prop_s = 0.0
 
-    def record(self, time_in_link: float) -> None:
+    def record(
+        self, wait_s: float, service_s: float, *, propagated: bool = True
+    ) -> None:
         self._packets += 1
-        self._delay_sum += time_in_link
+        self._delay_sum += wait_s + service_s
         self.total_packets += 1
+        self.total_wait_s += wait_s
+        self.total_service_s += service_s
+        if propagated:
+            self.total_prop_s += self.prop_delay
 
     def take_window(self, now: float) -> Measurement:
         """Close the window ending at ``now`` and return its measurement.
@@ -88,6 +101,9 @@ class FlowMonitor:
     #: Packets lost at the link layer: queue-overflow drops under a
     #: finite ``queue_limit`` plus packets destroyed by a link failure.
     queue_drops: int = 0
+    #: End-to-end delay quantile sketch; attached by the network when an
+    #: observation is active (None keeps the unobserved path free).
+    delay_hist: Histogram | None = None
 
     def note_injected(self, flow: str) -> None:
         self.injected[flow] = self.injected.get(flow, 0) + 1
@@ -106,6 +122,8 @@ class FlowMonitor:
         record.hop_sum += packet.hops
         if delay > record.max_delay:
             record.max_delay = delay
+        if self.delay_hist is not None:
+            self.delay_hist.observe(delay)
 
     def mean_delays(self) -> dict[str, float]:
         """Per-flow mean end-to-end delay in seconds."""

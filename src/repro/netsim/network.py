@@ -15,8 +15,10 @@ from __future__ import annotations
 
 import random
 
+from repro import obs
 from repro.core.costs import MM1CostEstimator, OnlineCostEstimator
 from repro.exceptions import SimulationError, TopologyError
+from repro.obs.metrics import Histogram
 from repro.fluid.flows import Flow, TrafficMatrix
 from repro.graph.topology import LinkId, NodeId, Topology
 from repro.netsim.engine import Engine
@@ -62,6 +64,10 @@ class PacketNetwork:
         self.routing = routing
         self.engine = Engine()
         self.flow_monitor = FlowMonitor()
+        if obs.current() is not None:
+            # Delay quantiles (p50/p90/p99) exist only when someone is
+            # watching; the unobserved delivery path stays untouched.
+            self.flow_monitor.delay_hist = Histogram()
         master = random.Random(seed)
 
         self.nodes: dict[NodeId, SimNode] = {}
@@ -219,8 +225,11 @@ class PacketNetwork:
         """Copy data-plane totals into an observation's registry.
 
         Records end-to-end packet accounting (injected / delivered /
-        dropped / in flight) and per-link queue high-water marks — the
-        occupancy figures behind the paper's buffering discussion.
+        dropped / in flight), per-link queue high-water marks — the
+        occupancy figures behind the paper's buffering discussion — the
+        end-to-end delay quantile sketch, and the queueing /
+        transmission / propagation delay decomposition.  Call once, at
+        run end: the histogram merge accumulates.
         """
         monitor = self.flow_monitor
         registry.gauge("netsim.packets_injected").set(
@@ -232,7 +241,12 @@ class PacketNetwork:
         registry.gauge("netsim.no_route_drops").set(monitor.no_route_drops)
         registry.gauge("netsim.queue_drops").set(monitor.queue_drops)
         registry.gauge("netsim.packets_in_flight").set(monitor.in_flight())
+        if monitor.delay_hist is not None:
+            registry.histogram("netsim.delay.e2e_seconds").merge(
+                monitor.delay_hist
+            )
         elapsed = self.engine.now
+        wait_s = service_s = prop_s = 0.0
         for link_id, link in self.links.items():
             registry.gauge(
                 "netsim.queue_high_water", link=link_id
@@ -240,3 +254,11 @@ class PacketNetwork:
             registry.gauge(
                 "netsim.link_utilization", link=link_id
             ).set(link.utilization(elapsed))
+            wait_s += link.monitor.total_wait_s
+            service_s += link.monitor.total_service_s
+            prop_s += link.monitor.total_prop_s
+        # Aggregate end-to-end delay decomposition: total seconds packets
+        # spent queueing vs in transmission vs propagating, network-wide.
+        registry.gauge("netsim.delay.queueing_s").set(wait_s)
+        registry.gauge("netsim.delay.transmission_s").set(service_s)
+        registry.gauge("netsim.delay.propagation_s").set(prop_s)

@@ -1,11 +1,19 @@
-"""repro.obs — the instrumentation layer (tracing, metrics, timing).
+"""repro.obs — the instrumentation layer (tracing, metrics, timing,
+auditing, analytics).
 
-An :class:`Observation` bundles the three instruments:
+An :class:`Observation` bundles the instruments:
 
 - a structured event :class:`~repro.obs.trace.Tracer` (JSONL sink);
 - a :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
-  histograms;
-- wall-clock :class:`~repro.obs.timing.PhaseTimers` around hot paths.
+  histograms (with p50/p90/p99 quantile estimates);
+- wall-clock :class:`~repro.obs.timing.PhaseTimers` around hot paths;
+- optionally an online :class:`~repro.obs.audit.InvariantAuditor` that
+  verifies the paper's LFI conditions and successor-graph acyclicity
+  *during* live MPDA runs (``audit=True``);
+
+and :mod:`repro.obs.convergence` / :mod:`repro.obs.report` post-process
+the resulting trace + metrics into convergence timelines, delay
+decompositions and run reports (the ``repro report`` CLI).
 
 Instrumented components look up the *current* observation through
 :func:`current`, which returns ``None`` when observability is disabled
@@ -33,11 +41,15 @@ from __future__ import annotations
 
 import contextlib
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from repro.obs import export
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.timing import PhaseTimers, phase
 from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.audit import InvariantAuditor
 
 __all__ = [
     "Observation",
@@ -59,7 +71,7 @@ __all__ = [
 
 
 class Observation:
-    """One observation session: tracer + metrics + timers.
+    """One observation session: tracer + metrics + timers (+ auditor).
 
     Args:
         tracer: event sink; defaults to the disabled :data:`NULL_TRACER`.
@@ -68,6 +80,14 @@ class Observation:
         protocol_control_plane: when True (default), runners upgrade
             oracle-mode MP/SP runs to the live MPDA protocol so
             control-plane metrics are real measurements.
+        auditor: an :class:`~repro.obs.audit.InvariantAuditor`; when set,
+            protocol drivers feed it every router event so LFI and
+            successor-graph acyclicity are verified online.
+
+    The mutable :attr:`sim_time` is the bridge between the simulators'
+    clocks and clock-less components: runners set it each epoch/tick and
+    the protocol driver stamps its events with it, so trace timelines
+    line up across layers.
     """
 
     def __init__(
@@ -77,11 +97,16 @@ class Observation:
         metrics: MetricsRegistry | None = None,
         timers: PhaseTimers | None = None,
         protocol_control_plane: bool = True,
+        auditor: "InvariantAuditor | None" = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.timers = timers if timers is not None else PhaseTimers()
         self.protocol_control_plane = protocol_control_plane
+        self.auditor = auditor
+        #: Simulated time of the innermost running simulator, or None
+        #: outside any simulation clock.
+        self.sim_time: float | None = None
 
     def snapshot(self) -> dict:
         """JSON-ready state (see :func:`repro.obs.export.snapshot`)."""
@@ -104,16 +129,31 @@ def start(
     *,
     trace_path: str | None = None,
     protocol_control_plane: bool = True,
+    audit: bool = False,
+    audit_sample: int = 1,
 ) -> Observation:
     """Begin an observation session and make it current.
 
     Only one session is current at a time; :func:`observe` restores the
     previous one on exit, so nested sessions compose.
+
+    ``audit=True`` attaches an online
+    :class:`~repro.obs.audit.InvariantAuditor` verifying the LFI
+    invariants every ``audit_sample``-th protocol event.
     """
     global _current
     tracer = Tracer.to_path(trace_path) if trace_path else NULL_TRACER
+    auditor = None
+    if audit:
+        # Imported lazily: audit depends on repro.core, which itself
+        # imports repro.obs.
+        from repro.obs.audit import InvariantAuditor
+
+        auditor = InvariantAuditor(sample_every=audit_sample)
     _current = Observation(
-        tracer=tracer, protocol_control_plane=protocol_control_plane
+        tracer=tracer,
+        protocol_control_plane=protocol_control_plane,
+        auditor=auditor,
     )
     return _current
 
@@ -131,6 +171,8 @@ def observe(
     *,
     trace_path: str | None = None,
     protocol_control_plane: bool = True,
+    audit: bool = False,
+    audit_sample: int = 1,
 ) -> Iterator[Observation]:
     """Context manager form of :func:`start` / :func:`stop`."""
     global _current
@@ -138,6 +180,8 @@ def observe(
     ob = start(
         trace_path=trace_path,
         protocol_control_plane=protocol_control_plane,
+        audit=audit,
+        audit_sample=audit_sample,
     )
     try:
         yield ob

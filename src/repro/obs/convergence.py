@@ -1,0 +1,287 @@
+"""Convergence analytics over the structured event stream.
+
+Post-processes a JSONL trace (and a metrics snapshot) into the
+quantities the routing literature actually evaluates — how long a
+diffusing computation takes, which destination converges last, how much
+the successor graph churns, and where packet delay is spent:
+
+- :func:`convergence_windows` groups the trace into *windows*: each
+  opens at the first ``disturbance`` event (a cost change, link failure
+  or restoration injected into the protocol driver) after the last
+  quiescence and closes at the next ``quiescent`` event.  Within a
+  window, ``dist_change`` events yield per-destination convergence
+  points — the last message after which any router's distance to that
+  destination still moved — and ``active_enter`` events count diffusing
+  ACTIVE phases.  Convergence is measured in *messages delivered*, the
+  protocol's own clock, which is deterministic for a seeded run (wall
+  seconds are reported alongside);
+- :func:`successor_churn_series` extracts the per-route-update
+  successor-set churn counts;
+- :func:`delay_decomposition` splits total packet delay into queueing,
+  transmission and propagation seconds (fed by the per-link monitors);
+- :func:`delay_quantiles` reads the end-to-end delay sketch
+  (p50/p90/p99);
+- :func:`audit_outcome` states the online LFI-audit verdict.
+
+Everything consumes plain parsed-JSON dicts, so the analytics run
+against a live :class:`~repro.obs.Observation` or a trace file written
+yesterday.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Event kinds that open (or extend) a convergence window.
+_DISTURBANCE = "disturbance"
+_QUIESCENT = "quiescent"
+
+
+def read_trace(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL trace file into a list of event dicts."""
+    events: list[dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+@dataclass
+class ConvergenceWindow:
+    """One disturbance-to-quiescence span of a protocol run.
+
+    A window may cover several injected events (a ``set_costs`` batch
+    emits one ``disturbance`` per changed link); they share the window
+    because the protocol converges once for the batch.
+    """
+
+    ops: list[str] = field(default_factory=list)
+    links: list[Any] = field(default_factory=list)
+    start_delivered: int = 0
+    end_delivered: int | None = None
+    wall_s: float | None = None
+    start_time: float | None = None
+    end_time: float | None = None
+    #: destination -> delivered-index of its last distance change.
+    last_change: dict[str, int] = field(default_factory=dict)
+    active_entries: int = 0
+    audit: dict[str, Any] | None = None
+
+    @property
+    def label(self) -> str:
+        """The window's disturbance kinds, deduplicated, in order."""
+        return "+".join(dict.fromkeys(self.ops)) or "?"
+
+    @property
+    def closed(self) -> bool:
+        return self.end_delivered is not None
+
+    @property
+    def messages(self) -> int | None:
+        """Messages delivered between disturbance and quiescence."""
+        if self.end_delivered is None:
+            return None
+        return self.end_delivered - self.start_delivered
+
+    def destination_messages(self) -> dict[str, int]:
+        """Per-destination convergence time, in messages delivered.
+
+        For destination *j* this is the number of deliveries after the
+        disturbance until the last one that still changed any router's
+        distance to *j* — 0 for destinations the disturbance never
+        touched.
+        """
+        return {
+            dest: last - self.start_delivered
+            for dest, last in self.last_change.items()
+        }
+
+    def slowest_destination(self) -> tuple[str, int] | None:
+        """The destination that converged last, with its message count."""
+        per_dest = self.destination_messages()
+        if not per_dest:
+            return None
+        dest = min(per_dest, key=lambda d: (-per_dest[d], str(d)))
+        return dest, per_dest[dest]
+
+    def as_dict(self) -> dict[str, Any]:
+        slowest = self.slowest_destination()
+        return {
+            "label": self.label,
+            "ops": list(self.ops),
+            "links": list(self.links),
+            "start_delivered": self.start_delivered,
+            "end_delivered": self.end_delivered,
+            "messages": self.messages,
+            "wall_s": self.wall_s,
+            "sim_time": self.start_time,
+            "active_entries": self.active_entries,
+            "destinations_touched": len(self.last_change),
+            "slowest_destination": slowest[0] if slowest else None,
+            "slowest_messages": slowest[1] if slowest else None,
+            "per_destination_messages": self.destination_messages(),
+            "audit": self.audit,
+        }
+
+
+def convergence_windows(
+    events: list[dict[str, Any]],
+) -> list[ConvergenceWindow]:
+    """Group a trace into disturbance → quiescence windows."""
+    windows: list[ConvergenceWindow] = []
+    current: ConvergenceWindow | None = None
+    for event in events:
+        kind = event.get("kind")
+        if kind == _DISTURBANCE:
+            if current is None or current.closed:
+                current = ConvergenceWindow(
+                    start_delivered=event.get("delivered", 0),
+                    start_time=event.get("t"),
+                )
+                windows.append(current)
+            current.ops.append(event.get("op", "?"))
+            current.links.append(event.get("link"))
+        elif kind == "audit_summary":
+            # Emitted right after ``quiescent``, so it belongs to the
+            # window that event just closed.
+            if current is not None:
+                current.audit = {
+                    "checks": event.get("checks"),
+                    "violations": event.get("violations"),
+                    "verdict": event.get("verdict"),
+                }
+        elif current is None or current.closed:
+            continue
+        elif kind == "dist_change":
+            delivered = event.get("delivered", 0)
+            for dest in event.get("dests", ()):
+                current.last_change[_key(dest)] = delivered
+        elif kind == "active_enter":
+            current.active_entries += 1
+        elif kind == _QUIESCENT:
+            current.end_delivered = event.get("delivered")
+            current.wall_s = event.get("wall_s")
+            current.end_time = event.get("t")
+    return windows
+
+
+def _key(value: Any) -> str:
+    """Stable string key for a (possibly repr-rendered) node id."""
+    return value if isinstance(value, str) else json.dumps(value)
+
+
+def successor_churn_series(
+    events: list[dict[str, Any]],
+) -> list[tuple[int, int]]:
+    """(route-update index, successor-set churn) per ``route_update``."""
+    return [
+        (event.get("update", 0), event.get("churn", 0))
+        for event in events
+        if event.get("kind") == "route_update"
+    ]
+
+
+# ----------------------------------------------------------------------
+# metrics-snapshot readers (the ``metrics`` section of an export)
+# ----------------------------------------------------------------------
+def _gauge_value(metrics: dict, name: str) -> float | None:
+    entry = metrics.get("gauges", {}).get(name, {}).get("")
+    return entry["value"] if entry else None
+
+
+def _sum_labeled(metrics: dict, kind: str, name: str) -> float | None:
+    by_label = metrics.get(kind, {}).get(name)
+    if not by_label:
+        return None
+    return sum(entry["value"] for entry in by_label.values())
+
+
+def delay_decomposition(metrics: dict) -> dict[str, Any] | None:
+    """Queueing vs transmission vs propagation seconds, with fractions.
+
+    Reads the aggregate gauges the packet network harvests from its
+    per-link monitors; None when the snapshot has no packet-level data.
+    """
+    queueing = _gauge_value(metrics, "netsim.delay.queueing_s")
+    transmission = _gauge_value(metrics, "netsim.delay.transmission_s")
+    propagation = _gauge_value(metrics, "netsim.delay.propagation_s")
+    if queueing is None or transmission is None or propagation is None:
+        return None
+    total = queueing + transmission + propagation
+
+    def fraction(part: float) -> float:
+        return part / total if total > 0 else 0.0
+
+    return {
+        "queueing_s": queueing,
+        "transmission_s": transmission,
+        "propagation_s": propagation,
+        "total_s": total,
+        "fractions": {
+            "queueing": fraction(queueing),
+            "transmission": fraction(transmission),
+            "propagation": fraction(propagation),
+        },
+    }
+
+
+def delay_quantiles(metrics: dict) -> dict[str, float] | None:
+    """The end-to-end packet-delay sketch (count/mean/p50/p90/p99/max)."""
+    entry = (
+        metrics.get("histograms", {})
+        .get("netsim.delay.e2e_seconds", {})
+        .get("")
+    )
+    if not entry or not entry.get("count"):
+        return None
+    return {
+        key: entry[key]
+        for key in ("count", "mean", "min", "max", "p50", "p90", "p99")
+        if key in entry
+    }
+
+
+def audit_outcome(metrics: dict) -> dict[str, Any]:
+    """The online LFI-audit verdict from the ``lfi_audit`` family."""
+    checks = _gauge_or_counter(metrics, "lfi_audit.checks") or 0.0
+    violations = _gauge_or_counter(metrics, "lfi_audit.violations") or 0.0
+    if not checks:
+        verdict = "no-data"
+    else:
+        verdict = "fail" if violations else "pass"
+    return {
+        "checks": int(checks),
+        "violations": int(violations),
+        "verdict": verdict,
+    }
+
+
+def _gauge_or_counter(metrics: dict, name: str) -> float | None:
+    for kind in ("counters", "gauges"):
+        entry = metrics.get(kind, {}).get(name, {}).get("")
+        if entry is not None:
+            return entry["value"]
+    return None
+
+
+def protocol_overhead(metrics: dict) -> dict[str, float] | None:
+    """Aggregate control-plane message totals from the harvested gauges."""
+    deliveries = _gauge_value(metrics, "protocol.deliveries")
+    if deliveries is None:
+        return None
+    out: dict[str, float] = {"deliveries": deliveries}
+    for name in (
+        "protocol.lsu_sent",
+        "protocol.lsu_received",
+        "protocol.mtu_runs",
+        "protocol.transitions",
+        "protocol.acks_received",
+    ):
+        total = _sum_labeled(metrics, "gauges", name)
+        if total is not None:
+            out[name.removeprefix("protocol.")] = total
+    return out

@@ -9,8 +9,9 @@ stats — but kept in-process and dependency-free.
   packets dropped, route recomputations);
 - :class:`Gauge` — last-value-wins readings with a high-water mark
   (queue occupancy, cumulative per-router totals harvested at run end);
-- :class:`Histogram` — moment sketches (count/sum/min/max) of event
-  sizes and durations (ACTIVE-phase lengths, ACK round-trips).
+- :class:`Histogram` — moments (count/sum/min/max) plus a fixed-bucket
+  sketch yielding p50/p90/p99 quantile estimates of event sizes and
+  durations (ACTIVE-phase lengths, ACK round-trips, packet delays).
 
 ``snapshot()`` renders the whole registry as a JSON-ready dict; label
 values are stringified so arbitrary node-id types serialize cleanly.
@@ -18,9 +19,18 @@ values are stringified so arbitrary node-id types serialize cleanly.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any
 
 _INF = float("inf")
+
+#: Shared log-spaced bucket upper bounds: five buckets per decade from
+#: 1e-9 to 1e9, covering sub-nanosecond timings through million-scale
+#: message counts.  Fixed (data-independent) boundaries keep quantile
+#: estimates deterministic across runs and mergeable across histograms.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (exp / 5.0) for exp in range(-45, 46)
+)
 
 
 class Counter:
@@ -57,15 +67,26 @@ class Gauge:
 
 
 class Histogram:
-    """A moment sketch: count, sum, min, max (and derived mean)."""
+    """Moments (count/sum/min/max) plus fixed-bucket quantile estimates.
 
-    __slots__ = ("count", "total", "min", "max")
+    Observations are counted into the shared log-spaced
+    :data:`BUCKET_BOUNDS`; :meth:`quantile` interpolates linearly within
+    the bucket holding the requested rank and clamps to the observed
+    min/max, so estimates are exact for n=1 and never leave the data
+    range.  Buckets are kept sparsely (a dict), so an unused histogram
+    costs four scalars and an empty dict.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = _INF
         self.max = -_INF
+        #: bucket index (into BUCKET_BOUNDS, len(BUCKET_BOUNDS) =
+        #: overflow) -> observation count.
+        self._buckets: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -74,10 +95,46 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        index = bisect_left(BUCKET_BOUNDS, value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (q in [0, 1]) of the observations."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index in sorted(self._buckets):
+            in_bucket = self._buckets[index]
+            seen += in_bucket
+            if seen >= target:
+                lower = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                upper = (
+                    BUCKET_BOUNDS[index]
+                    if index < len(BUCKET_BOUNDS)
+                    else self.max
+                )
+                if upper < lower:
+                    upper = lower
+                fraction = (target - (seen - in_bucket)) / in_bucket
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+        return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for index, in_bucket in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + in_bucket
 
     def as_dict(self) -> dict[str, float]:
         if not self.count:
@@ -88,6 +145,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
         }
 
 

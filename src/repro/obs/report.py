@@ -1,0 +1,201 @@
+"""Run reports: post-process a trace + metrics snapshot into one document.
+
+:func:`build_report` combines a parsed JSONL trace (see
+:func:`repro.obs.convergence.read_trace`) and a metrics snapshot (the
+document ``--metrics-out`` writes, or just its ``metrics`` section) into
+a single JSON-ready report: convergence windows, audit verdict, delay
+quantiles and decomposition, protocol overhead, successor churn, and an
+event census.  :func:`render_report` turns it into the text tables the
+``repro report`` subcommand prints.
+
+The report is deterministic: everything it states is derived from the
+two input files, so re-running it over committed fixtures must
+reproduce the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any
+
+from repro.obs.convergence import (
+    audit_outcome,
+    convergence_windows,
+    delay_decomposition,
+    delay_quantiles,
+    protocol_overhead,
+    successor_churn_series,
+)
+
+#: Report document version; bump when the structure changes.
+REPORT_SCHEMA = "repro.report/1"
+
+
+def build_report(
+    events: list[dict[str, Any]],
+    metrics_doc: dict[str, Any] | None = None,
+    *,
+    source: dict[str, str] | None = None,
+) -> dict[str, Any]:
+    """Derive the full run report from a trace and a metrics snapshot.
+
+    Args:
+        events: parsed trace events, in file order.
+        metrics_doc: either the whole ``--metrics-out`` document (with
+            ``metrics`` / ``timings`` sections) or a bare metrics
+            snapshot; None when only the trace is available.
+        source: optional provenance (input paths) recorded verbatim.
+    """
+    if metrics_doc is None:
+        metrics: dict[str, Any] = {}
+    else:
+        metrics = metrics_doc.get("metrics", metrics_doc)
+    windows = convergence_windows(events)
+    churn = successor_churn_series(events)
+    kinds = Counter(event.get("kind", "?") for event in events)
+    return {
+        "schema": REPORT_SCHEMA,
+        "source": source or {},
+        "events": {
+            "total": len(events),
+            "by_kind": dict(sorted(kinds.items())),
+        },
+        "windows": [w.as_dict() for w in windows],
+        "audit": audit_outcome(metrics),
+        "overhead": protocol_overhead(metrics),
+        "delay": {
+            "quantiles": delay_quantiles(metrics),
+            "decomposition": delay_decomposition(metrics),
+        },
+        "churn": {
+            "route_updates": len(churn),
+            "total": sum(count for _, count in churn),
+            "max": max((count for _, count in churn), default=0),
+        },
+    }
+
+
+def write_report(path: str, report: dict[str, Any]) -> None:
+    """Write a report document as indented JSON."""
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def render_report(report: dict[str, Any]) -> str:
+    """The text form of a report: tables plus one-line summaries."""
+    parts = [
+        _render_windows(report.get("windows", [])),
+        _render_audit(report.get("audit", {})),
+        _render_delay(report.get("delay", {})),
+        _render_overhead(report.get("overhead")),
+        _render_churn(report.get("churn", {})),
+        _render_events(report.get("events", {})),
+    ]
+    return "\n".join(part for part in parts if part)
+
+
+def _render_windows(windows: list[dict[str, Any]]) -> str:
+    header = (
+        "window".ljust(28)
+        + "messages".rjust(10)
+        + "active".rjust(8)
+        + "dests".rjust(7)
+        + "slowest (dest:msgs)".rjust(22)
+        + "audit".rjust(9)
+    )
+    lines = [
+        "convergence windows (disturbance -> quiescence, in messages "
+        "delivered)",
+        "=" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    if not windows:
+        lines.append("(no disturbance events in trace)")
+    for window in windows:
+        messages = window.get("messages")
+        slowest = window.get("slowest_destination")
+        slowest_cell = (
+            f"{slowest}:{window.get('slowest_messages')}"
+            if slowest is not None
+            else "-"
+        )
+        audit = window.get("audit") or {}
+        lines.append(
+            str(window.get("label", "?"))[:27].ljust(28)
+            + (f"{messages}" if messages is not None else "open").rjust(10)
+            + f"{window.get('active_entries', 0)}".rjust(8)
+            + f"{window.get('destinations_touched', 0)}".rjust(7)
+            + slowest_cell.rjust(22)
+            + str(audit.get("verdict", "-")).rjust(9)
+        )
+    lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def _render_audit(audit: dict[str, Any]) -> str:
+    if not audit:
+        return ""
+    return (
+        f"audit: verdict={audit.get('verdict', 'no-data')} "
+        f"checks={audit.get('checks', 0)} "
+        f"violations={audit.get('violations', 0)}"
+    )
+
+
+def _render_delay(delay: dict[str, Any]) -> str:
+    lines = []
+    quantiles = delay.get("quantiles")
+    if quantiles:
+        lines.append(
+            "delay quantiles (s): "
+            + " ".join(
+                f"{key}={quantiles[key]:.4g}"
+                for key in ("p50", "p90", "p99", "mean", "max")
+                if key in quantiles
+            )
+            + f" (n={int(quantiles.get('count', 0))})"
+        )
+    decomposition = delay.get("decomposition")
+    if decomposition:
+        fractions = decomposition.get("fractions", {})
+        lines.append(
+            "delay decomposition: "
+            + " ".join(
+                f"{name}={fractions.get(name, 0.0):.1%}"
+                for name in ("queueing", "transmission", "propagation")
+            )
+            + f" of {decomposition.get('total_s', 0.0):.4g}s total"
+        )
+    return "\n".join(lines)
+
+
+def _render_overhead(overhead: dict[str, Any] | None) -> str:
+    if not overhead:
+        return ""
+    return "protocol overhead: " + " ".join(
+        f"{key}={int(value)}" for key, value in sorted(overhead.items())
+    )
+
+
+def _render_churn(churn: dict[str, Any]) -> str:
+    if not churn.get("route_updates"):
+        return ""
+    return (
+        f"successor churn: {churn.get('total', 0)} changes over "
+        f"{churn.get('route_updates', 0)} route updates "
+        f"(max {churn.get('max', 0)} in one update)"
+    )
+
+
+def _render_events(events: dict[str, Any]) -> str:
+    by_kind = events.get("by_kind", {})
+    if not by_kind:
+        return ""
+    census = " ".join(f"{kind}={count}" for kind, count in by_kind.items())
+    return f"trace: {events.get('total', 0)} events ({census})"

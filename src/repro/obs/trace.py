@@ -92,3 +92,39 @@ class NullTracer:
 
 #: Shared disabled tracer; components default to this.
 NULL_TRACER = NullTracer()
+
+
+#: The documented trace schema: event ``kind`` -> the payload fields
+#: every event of that kind is guaranteed to carry (beyond ``kind``
+#: itself; optional fields like ``t`` are listed only where always
+#: present).  The round-trip test suite enforces that every event the
+#: drivers, engines and runners emit appears here with these fields, so
+#: downstream consumers (``repro report``, external tooling) can rely on
+#: them.
+EVENT_SCHEMAS: dict[str, frozenset[str]] = {
+    # fluid runner: one per Ts epoch
+    "epoch": frozenset({"t", "run", "avg_delay", "max_utilization"}),
+    # packet runner: one per Ts measurement tick
+    "ts_tick": frozenset({"t", "tick", "delivered", "dropped"}),
+    # protocol driver: one per delivered LSU
+    "lsu_deliver": frozenset({"link", "entries", "ack", "delivered"}),
+    # MPDA synchronization phases
+    "active_enter": frozenset({"node", "delivered"}),
+    "active_exit": frozenset({"node", "wall_s", "messages"}),
+    # routing plane: one per Tl route recomputation
+    "route_update": frozenset({"update", "churn"}),
+    # protocol driver: an injected topology/cost event (the start of a
+    # convergence window); op is link_up/link_down/link_cost_change
+    "disturbance": frozenset({"op", "link", "delivered"}),
+    # protocol driver: a router's distance vector changed
+    "dist_change": frozenset({"node", "dests", "delivered"}),
+    # protocol driver: the network went quiet after a run() pump
+    "quiescent": frozenset({"delivered", "messages", "wall_s"}),
+    # online invariant auditor
+    "audit_violation": frozenset({"check", "error", "delivered"}),
+    "audit_summary": frozenset(
+        {"checks", "violations", "verdict", "delivered"}
+    ),
+    # Gallager's OPT finished
+    "opt_done": frozenset({"iterations", "converged", "total_delay"}),
+}

@@ -95,6 +95,8 @@ def run_packet_level(
         damping=config.damping,
         seed=config.seed,
     )
+    if ob is not None:
+        ob.sim_time = 0.0
     routing.update_routes(topo.idle_marginal_costs())
 
     network = PacketNetwork(
@@ -124,6 +126,8 @@ def run_packet_level(
 
     def on_tick() -> None:
         state["tick"] += 1
+        if ob is not None:
+            ob.sim_time = engine.now
         with obs.phase(ob, "packet.measure"):
             costs = network.measure_costs()
         # Estimators can momentarily report ~0 on idle links before any
@@ -175,6 +179,7 @@ def run_packet_level(
     )
     result.protocol_stats = routing.protocol_stats()
     if ob is not None:
+        ob.sim_time = None
         network.harvest_metrics(ob.metrics)
         result.metrics = ob.snapshot()
     return result

@@ -129,6 +129,8 @@ def run_quasi_static(
 
     # Boot: no measurements yet, so paths come from idle marginal costs,
     # which also seed the long-term cost average.
+    if ob is not None:
+        ob.sim_time = 0.0
     boot_costs = topo.idle_marginal_costs()
     links_down = scenario.links_down_at(0.0)
     routing.update_routes(_without(boot_costs, links_down))
@@ -145,6 +147,10 @@ def run_quasi_static(
     time = 0.0
     epoch_index = 0
     while time < config.duration:
+        if ob is not None:
+            # Stamp the shared sim clock so protocol-driver trace events
+            # fired inside update_routes carry this epoch's time.
+            ob.sim_time = time
         # Topology events: failure detection is immediate in MPDA (an
         # adjacent-link event, not a Tl timer), so routes react at the
         # epoch where the outage starts/ends.
@@ -223,6 +229,7 @@ def run_quasi_static(
 
     result.protocol_stats = routing.protocol_stats()
     if ob is not None:
+        ob.sim_time = None
         result.metrics = ob.snapshot()
     return result
 

@@ -1,0 +1,91 @@
+"""Regenerate the committed observability fixtures.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/fixtures/regen.py
+
+Produces, next to this script:
+
+- ``converge.trace.jsonl`` / ``converge.metrics.json`` /
+  ``converge.report.json`` — the audited single-link-failure
+  convergence experiment on CAIRN and NET1 (equivalent to
+  ``python -m repro converge --trace ... --metrics-out ...`` followed by
+  ``python -m repro report``);
+- ``packet_net1.trace.jsonl`` / ``packet_net1.metrics.json`` /
+  ``packet_net1.report.json`` — a short audited packet-level NET1 run,
+  the source of the delay quantiles and the queueing / transmission /
+  propagation decomposition.
+
+Every number in the fixtures is deterministic (seeded interleaving,
+seeded packet arrivals, message-count clocks) except the ``wall_s``
+trace fields, which record real elapsed time and differ run to run —
+tests and EXPERIMENTS.md only cite the deterministic fields.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import obs
+from repro.bench.convergence import converge_experiment
+from repro.obs.convergence import read_trace
+from repro.obs.export import write_metrics
+from repro.obs.report import build_report, write_report
+from repro.sim.packet_runner import PacketRunConfig, run_packet_level
+from repro.sim.scenario import net1_scenario
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def _path(name: str) -> str:
+    return os.path.join(HERE, name)
+
+
+def regen_converge() -> None:
+    trace = _path("converge.trace.jsonl")
+    metrics = _path("converge.metrics.json")
+    observation = obs.start(trace_path=trace, audit=True, audit_sample=1)
+    try:
+        converge_experiment(seed=0, topologies=("cairn", "net1"))
+        write_metrics(metrics, observation)
+    finally:
+        obs.stop()
+    _report("converge")
+
+
+def regen_packet_net1() -> None:
+    trace = _path("packet_net1.trace.jsonl")
+    metrics = _path("packet_net1.metrics.json")
+    observation = obs.start(trace_path=trace, audit=True, audit_sample=25)
+    try:
+        run_packet_level(
+            net1_scenario(load=1.0),
+            PacketRunConfig(tl=10, ts=2, duration=20.0, seed=0),
+        )
+        write_metrics(metrics, observation)
+    finally:
+        obs.stop()
+    _report("packet_net1")
+
+
+def _report(stem: str) -> None:
+    import json
+
+    events = read_trace(_path(f"{stem}.trace.jsonl"))
+    with open(_path(f"{stem}.metrics.json")) as fh:
+        metrics_doc = json.load(fh)
+    report = build_report(
+        events,
+        metrics_doc,
+        source={
+            "trace": f"tests/fixtures/{stem}.trace.jsonl",
+            "metrics": f"tests/fixtures/{stem}.metrics.json",
+        },
+    )
+    write_report(_path(f"{stem}.report.json"), report)
+
+
+if __name__ == "__main__":
+    regen_converge()
+    regen_packet_net1()
+    print("fixtures regenerated under", HERE)

@@ -1,0 +1,52 @@
+"""The BENCH_report.json performance-baseline collector."""
+
+import json
+import os
+
+from repro.bench.baseline import (
+    BASELINE_SCHEMA,
+    collect_baseline,
+    write_baseline,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestCollect:
+    def test_structure_and_determinism(self, tmp_path):
+        baseline = collect_baseline(
+            epochs=1, seed=0, topologies=("net1",)
+        )
+        assert baseline["schema"] == BASELINE_SCHEMA
+        names = [
+            t["topology"] for t in baseline["overhead"]["topologies"]
+        ]
+        assert names == ["CAIRN", "NET1"]
+        (run,) = baseline["converge"]["runs"]
+        # Deterministic message counts (seed 0) and a clean audit.
+        assert run["cold_messages"] == 259
+        assert run["audit"]["verdict"] == "pass"
+        assert run["audit"]["violations"] == 0
+        # Auditing must not change the protocol's behaviour.
+        assert baseline["converge"]["plain_runs_match"] == [True]
+        path = tmp_path / "b.json"
+        write_baseline(str(path), baseline)
+        assert json.loads(path.read_text())["schema"] == BASELINE_SCHEMA
+
+
+class TestCommittedArtifact:
+    def test_bench_report_is_current_schema(self):
+        with open(os.path.join(REPO_ROOT, "BENCH_report.json")) as fh:
+            committed = json.load(fh)
+        assert committed["schema"] == BASELINE_SCHEMA
+        # The deterministic halves must match a fresh run's values.
+        runs = {
+            run["topology"]: run for run in committed["converge"]["runs"]
+        }
+        assert runs["CAIRN"]["cold_messages"] == 844
+        assert runs["CAIRN"]["fail_messages"] == 254
+        assert runs["CAIRN"]["restore_messages"] == 118
+        assert runs["NET1"]["cold_messages"] == 259
+        assert all(
+            run["audit"]["violations"] == 0 for run in runs.values()
+        )

@@ -39,6 +39,36 @@ class TestParser:
         assert args.epochs == 3
         assert args.seed == 9
 
+    def test_converge_command(self):
+        args = build_parser().parse_args(
+            ["converge", "--topo", "net1", "--seed", "3",
+             "--audit-sample", "5", "--trace", "t.jsonl"]
+        )
+        assert args.command == "converge"
+        assert args.topo == "net1"
+        assert args.seed == 3
+        assert args.audit_sample == 5
+        assert args.trace == "t.jsonl"
+
+    def test_converge_defaults_to_all_topologies(self):
+        args = build_parser().parse_args(["converge"])
+        assert args.topo == "all"
+        assert args.audit_sample == 1
+
+    def test_report_command(self):
+        args = build_parser().parse_args(
+            ["report", "t.jsonl", "--metrics", "m.json",
+             "--json", "r.json"]
+        )
+        assert args.command == "report"
+        assert args.trace == "t.jsonl"
+        assert args.metrics == "m.json"
+        assert args.json_out == "r.json"
+
+    def test_report_requires_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])
+
 
 class TestRegistry:
     def test_every_paper_figure_registered(self):
@@ -123,6 +153,32 @@ class TestMain:
         assert data["metrics"]["counters"]["fake.counter"][""]["value"] == 3
         assert "fake.phase" in data["timings"]
         assert "fake.phase" in capsys.readouterr().out  # --timing table
+
+    def test_converge_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        out_file = tmp_path / "c.txt"
+        code = main([
+            "converge", "--topo", "net1", "--audit-sample", "10",
+            "--trace", str(trace),
+            "--metrics-out", str(metrics),
+            "--out", str(out_file),
+        ])
+        assert code == 0
+        assert obs.current() is None  # session torn down afterwards
+        printed = capsys.readouterr().out
+        assert "NET1" in printed and "pass" in printed
+        assert "NET1" in out_file.read_text()
+        kinds = {
+            json.loads(line)["kind"]
+            for line in trace.read_text().splitlines()
+        }
+        assert {"disturbance", "quiescent", "audit_summary"} <= kinds
+        data = json.loads(metrics.read_text())
+        assert (
+            data["metrics"]["counters"]["lfi_audit.violations"][""]["value"]
+            == 0
+        )
 
     def test_overhead_prints_both_topologies(self, tmp_path, capsys):
         out_file = tmp_path / "o.txt"

@@ -15,15 +15,15 @@ from repro.netsim.packet import Packet
 class TestLinkMonitor:
     def test_window_flow_and_delay(self):
         monitor = LinkMonitor(prop_delay=1e-3)
-        monitor.record(0.010)
-        monitor.record(0.020)
+        monitor.record(0.004, 0.006)
+        monitor.record(0.008, 0.012)
         m = monitor.take_window(now=2.0)
         assert m.flow == pytest.approx(1.0)  # 2 packets / 2 seconds
         assert m.per_unit_delay == pytest.approx(0.015 + 1e-3)
 
     def test_window_resets(self):
         monitor = LinkMonitor(prop_delay=0.0)
-        monitor.record(0.01)
+        monitor.record(0.005, 0.005)
         monitor.take_window(now=1.0)
         m = monitor.take_window(now=3.0)
         assert m.flow == 0.0
@@ -41,9 +41,9 @@ class TestLinkMonitor:
 
     def test_total_packets_not_reset(self):
         monitor = LinkMonitor(prop_delay=0.0)
-        monitor.record(0.01)
+        monitor.record(0.01, 0.0)
         monitor.take_window(now=1.0)
-        monitor.record(0.01)
+        monitor.record(0.01, 0.0)
         assert monitor.total_packets == 2
 
     def test_backwards_window_rejected(self):
@@ -55,9 +55,9 @@ class TestLinkMonitor:
     def test_consecutive_windows_partition_records(self):
         """A record landing after a close belongs to the next window."""
         monitor = LinkMonitor(prop_delay=0.0)
-        monitor.record(0.01)
+        monitor.record(0.01, 0.0)
         first = monitor.take_window(now=1.0)
-        monitor.record(0.03)
+        monitor.record(0.0, 0.03)
         second = monitor.take_window(now=2.0)
         assert first.flow == pytest.approx(1.0)
         assert second.flow == pytest.approx(1.0)
@@ -65,9 +65,26 @@ class TestLinkMonitor:
 
     def test_tiny_window_scales_flow(self):
         monitor = LinkMonitor(prop_delay=0.0)
-        monitor.record(0.01)
+        monitor.record(0.01, 0.0)
         m = monitor.take_window(now=1e-6)
         assert m.flow == pytest.approx(1e6)
+
+    def test_delay_decomposition_totals(self):
+        monitor = LinkMonitor(prop_delay=2e-3)
+        monitor.record(0.010, 0.004)
+        monitor.record(0.020, 0.006)
+        monitor.record(0.001, 0.002, propagated=False)
+        assert monitor.total_wait_s == pytest.approx(0.031)
+        assert monitor.total_service_s == pytest.approx(0.012)
+        # only the two propagated packets accrue propagation time
+        assert monitor.total_prop_s == pytest.approx(4e-3)
+
+    def test_decomposition_survives_window_close(self):
+        monitor = LinkMonitor(prop_delay=0.0)
+        monitor.record(0.01, 0.02)
+        monitor.take_window(now=1.0)
+        assert monitor.total_wait_s == pytest.approx(0.01)
+        assert monitor.total_service_s == pytest.approx(0.02)
 
 
 class TestFlowMonitor:

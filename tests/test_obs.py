@@ -6,7 +6,7 @@ import pytest
 
 from repro import obs
 from repro.obs.export import render_timings, snapshot, write_metrics
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import BUCKET_BOUNDS, Histogram, MetricsRegistry
 from repro.obs.timing import NULL_PHASE, PhaseTimers, phase
 from repro.obs.trace import NULL_TRACER, Tracer
 
@@ -90,6 +90,58 @@ class TestMetricsRegistry:
     def test_same_metric_object_reused(self):
         reg = MetricsRegistry()
         assert reg.counter("x", k="v") is reg.counter("x", k="v")
+
+
+class TestHistogramQuantiles:
+    def test_bounds_are_sorted_and_span_nine_decades(self):
+        assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
+        assert BUCKET_BOUNDS[0] == pytest.approx(1e-9)
+        assert BUCKET_BOUNDS[-1] == pytest.approx(1e9)
+
+    def test_quantiles_on_uniform_data(self):
+        hist = Histogram()
+        for ms in range(1, 101):  # 1..100 ms, uniform
+            hist.observe(ms * 1e-3)
+        # Bucket resolution is ~58% per step; allow that much slack.
+        assert hist.quantile(0.50) == pytest.approx(0.050, rel=0.6)
+        assert hist.quantile(0.90) == pytest.approx(0.090, rel=0.6)
+        # Quantiles are monotone and clamped to the observed range.
+        assert (
+            hist.min
+            <= hist.quantile(0.50)
+            <= hist.quantile(0.90)
+            <= hist.quantile(0.99)
+            <= hist.max
+        )
+
+    def test_quantile_empty_and_single(self):
+        hist = Histogram()
+        assert hist.quantile(0.5) == 0.0
+        hist.observe(0.25)
+        assert hist.quantile(0.5) == pytest.approx(0.25)
+        assert hist.quantile(0.99) == pytest.approx(0.25)
+
+    def test_as_dict_keeps_legacy_keys_and_adds_quantiles(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0):
+            hist.observe(v)
+        d = hist.as_dict()
+        for key in ("count", "sum", "min", "max", "mean"):
+            assert key in d  # the pre-quantile schema survives
+        assert d["p50"] <= d["p90"] <= d["p99"]
+
+    def test_merge_combines_sketches(self):
+        a, b = Histogram(), Histogram()
+        for v in (0.001, 0.002):
+            a.observe(v)
+        for v in (0.004, 0.008):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.total == pytest.approx(0.015)
+        assert a.min == pytest.approx(0.001)
+        assert a.max == pytest.approx(0.008)
+        assert a.quantile(0.99) <= a.max
 
 
 class TestPhaseTimers:
