@@ -69,17 +69,22 @@ from repro.obs import current as observation
 from repro.obs import start as start_observation
 from repro.obs import stop as stop_observation
 from repro.sim import (
+    FluidPlane,
+    PacketPlane,
+    PacketRunConfig,
     QuasiStaticConfig,
+    RunConfig,
     RunResult,
     Scenario,
+    TwoTimescaleController,
     bursty_scenario,
     cairn_scenario,
     net1_scenario,
     run_opt,
+    run_packet_level,
     run_quasi_static,
     with_failures,
 )
-from repro.sim.packet_runner import PacketRunConfig, run_packet_level
 from repro.units import mbps, ms, to_mbps
 
 __version__ = "1.0.0"
@@ -116,11 +121,15 @@ __all__ = [
     "net1_scenario",
     "bursty_scenario",
     "with_failures",
+    "RunConfig",
     "QuasiStaticConfig",
+    "PacketRunConfig",
+    "TwoTimescaleController",
+    "FluidPlane",
+    "PacketPlane",
     "run_quasi_static",
     "run_opt",
     "RunResult",
-    "PacketRunConfig",
     "run_packet_level",
     # observability
     "Observation",

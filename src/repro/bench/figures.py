@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.sim.runner import QuasiStaticConfig, run_opt, run_quasi_static
+from repro.sim.control import QuasiStaticConfig, run
+from repro.sim.runner import run_opt
 from repro.sim.scenario import (
     Scenario,
     bursty_scenario,
@@ -92,7 +93,7 @@ def _ratio_stats(
 # Figs. 9 & 10 — OPT vs MP
 # ----------------------------------------------------------------------
 def _opt_vs_mp(scenario: Scenario, figure: str, claim: str) -> FigureResult:
-    mp = run_quasi_static(scenario, _mp_config())
+    mp = run(scenario, _mp_config())
     opt, gallager = run_opt(scenario, max_iterations=2500)
     result = FigureResult(figure=figure, claim=claim)
     opt_delays = opt.mean_flow_delays_ms()
@@ -137,9 +138,9 @@ def fig10_net1_opt_vs_mp() -> FigureResult:
 # Figs. 11 & 12 — MP vs SP
 # ----------------------------------------------------------------------
 def _mp_vs_sp(scenario: Scenario, figure: str, claim: str) -> FigureResult:
-    mp_fast = run_quasi_static(scenario, _mp_config(ts=2.0))
-    mp_slow = run_quasi_static(scenario, _mp_config(ts=10.0))
-    sp = run_quasi_static(scenario, _sp_config())
+    mp_fast = run(scenario, _mp_config(ts=2.0))
+    mp_slow = run(scenario, _mp_config(ts=10.0))
+    sp = run(scenario, _sp_config())
     opt, _ = run_opt(scenario, max_iterations=2500)
 
     result = FigureResult(figure=figure, claim=claim)
@@ -192,8 +193,8 @@ def _tl_sweep(
         common = dict(
             tl=tl, ts=2.0, duration=duration, warmup=60.0, queue_limit=750.0
         )
-        mp = run_quasi_static(scenario, _mp_config(**common))
-        sp = run_quasi_static(scenario, _sp_config(**common))
+        mp = run(scenario, _mp_config(**common))
+        sp = run(scenario, _sp_config(**common))
         mp_points.append((tl, ms(mp.mean_average_delay())))
         sp_points.append((tl, ms(sp.mean_average_delay())))
     result.sweep_series["MP"] = mp_points
@@ -255,8 +256,8 @@ def dyn_bursty(network: str = "net1") -> FigureResult:
     else:
         raise ValueError(f"unknown network {network!r}")
     cfg = dict(tl=10.0, ts=2.0, duration=300.0, warmup=60.0)
-    mp = run_quasi_static(scenario, _mp_config(**cfg))
-    sp = run_quasi_static(scenario, _sp_config(**cfg))
+    mp = run(scenario, _mp_config(**cfg))
+    sp = run(scenario, _sp_config(**cfg))
     result = FigureResult(
         figure=f"DYN ({network}: bursty traffic)",
         claim="MP renders far smaller delays than SP in dynamic "
@@ -294,9 +295,9 @@ def abl_allocation() -> FigureResult:
         "damping stabilizes the min-ratio step",
     )
     for label, config in variants.items():
-        run = run_quasi_static(scenario, config)
-        result.flow_series[label] = run.mean_flow_delays_ms()
-        result.metrics[f"{label}_avg_ms"] = ms(run.mean_average_delay())
+        outcome = run(scenario, config)
+        result.flow_series[label] = outcome.mean_flow_delays_ms()
+        result.metrics[f"{label}_avg_ms"] = ms(outcome.mean_average_delay())
     return result
 
 
@@ -309,7 +310,7 @@ def abl_successors() -> FigureResult:
     )
     for limit, label in ((1, "limit1(SP)"), (2, "limit2"), (None, "all(MP)")):
         config = _mp_config(successor_limit=limit)
-        run = run_quasi_static(scenario, config)
-        result.flow_series[label] = run.mean_flow_delays_ms()
-        result.metrics[f"{label}_avg_ms"] = ms(run.mean_average_delay())
+        outcome = run(scenario, config)
+        result.flow_series[label] = outcome.mean_flow_delays_ms()
+        result.metrics[f"{label}_avg_ms"] = ms(outcome.mean_average_delay())
     return result

@@ -8,6 +8,7 @@ Usage::
     python -m repro run all
     python -m repro overhead
     python -m repro converge --trace t.jsonl --metrics-out m.json
+    python -m repro packet-converge --trace t.jsonl --json results.json
     python -m repro report t.jsonl --metrics m.json --json report.json
 
 Equivalent to the ``benchmarks/`` suite but without pytest — handy for
@@ -37,7 +38,9 @@ from repro import obs
 from repro.bench import figures
 from repro.bench.convergence import (
     converge_experiment,
+    packet_converge_experiment,
     render_failover_table,
+    render_packet_failover_table,
 )
 from repro.bench.figures import FigureResult
 from repro.bench.overhead import overhead_experiment, render_overhead_table
@@ -203,6 +206,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the rendered table to this file",
     )
 
+    packet = sub.add_parser(
+        "packet-converge",
+        help=(
+            "audited packet-granularity link failure/restore: the "
+            "busiest safe link goes down mid-run, traffic reroutes"
+        ),
+    )
+    packet.add_argument(
+        "--topo",
+        choices=["cairn", "net1", "all"],
+        default="all",
+        help="which evaluation topology to run (default all)",
+    )
+    packet.add_argument(
+        "--load",
+        type=float,
+        default=0.9,
+        metavar="X",
+        help="traffic load factor (default 0.9)",
+    )
+    packet.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="packet arrival/service and interleaving seed (default 0)",
+    )
+    packet.add_argument(
+        "--audit-sample",
+        type=int,
+        default=1,
+        metavar="N",
+        help="audit every N-th router event (default 1 = every event)",
+    )
+    packet.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write the structured JSONL event trace to this file",
+    )
+    packet.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics/timings snapshot as JSON to this file",
+    )
+    packet.add_argument(
+        "--json",
+        dest="json_out",
+        metavar="PATH",
+        default=None,
+        help="write the per-phase results as JSON to this file",
+    )
+    packet.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the rendered table to this file",
+    )
+
     report = sub.add_parser(
         "report",
         help="post-process a JSONL trace (+ metrics snapshot) into a run "
@@ -292,6 +355,35 @@ def _run_converge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_packet_converge(args: argparse.Namespace) -> int:
+    topologies = (
+        ("cairn", "net1") if args.topo == "all" else (args.topo,)
+    )
+    observation = obs.start(
+        trace_path=args.trace, audit=True, audit_sample=args.audit_sample
+    )
+    try:
+        results = packet_converge_experiment(
+            seed=args.seed, load=args.load, topologies=topologies
+        )
+        if args.metrics_out:
+            write_metrics(args.metrics_out, observation)
+    finally:
+        obs.stop()
+    text = render_packet_failover_table(results)
+    print(text)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(
+                [result.as_dict() for result in results], fh, indent=2
+            )
+            fh.write("\n")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
 def _run_report(args: argparse.Namespace) -> int:
     events = read_trace(args.trace)
     metrics_doc = None
@@ -337,6 +429,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "converge":
         return _run_converge(args)
+
+    if args.command == "packet-converge":
+        return _run_packet_converge(args)
 
     if args.command == "report":
         return _run_report(args)

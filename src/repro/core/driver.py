@@ -70,6 +70,11 @@ class ProtocolDriver:
     # ------------------------------------------------------------------
     # driving events
     # ------------------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether :meth:`start` has run; topology events require it."""
+        return self._started
+
     def start(self, costs: CostMap) -> None:
         """Bring every adjacent link up with its initial cost."""
         if self._started:

@@ -139,7 +139,7 @@ class MPRouting:
     def _update_routes_protocol(self, costs: CostMap) -> None:
         driver = self._driver
         assert driver is not None
-        if not driver._started:
+        if not driver.started:
             driver.start(costs)
         else:
             driver.set_costs(dict(costs))
@@ -319,7 +319,7 @@ class MPRouting:
         self._harvest_routes()
 
     def _require_protocol(self, operation: str) -> ProtocolDriver:
-        if self._driver is None or not self._driver._started:
+        if self._driver is None or not self._driver.started:
             raise RoutingError(
                 f"{operation} requires mode='protocol' with routes already "
                 "computed at least once"

@@ -26,7 +26,7 @@ from repro.netsim.link import SimLink
 from repro.netsim.monitor import FlowMonitor
 from repro.netsim.node import RoutingProvider, SimNode
 from repro.netsim.packet import Packet
-from repro.netsim.traffic import OnOffSource, PoissonSource
+from repro.netsim.traffic import OnOffSource, PoissonSource, ScheduledSource
 
 ESTIMATOR_KINDS = ("mm1", "online")
 
@@ -188,6 +188,53 @@ class PacketNetwork:
             )
             for flow in flows
         ]
+
+    def attach_schedules(
+        self,
+        flows: list[Flow],
+        schedules: dict[str, list[tuple[float, float]]],
+        *,
+        peak_factor: float,
+        stop: float | None = None,
+    ) -> list[ScheduledSource]:
+        """On-off sources replaying precomputed burst windows.
+
+        ``schedules`` maps a flow label to its (start, end) on-periods
+        (e.g. a :class:`~repro.sim.scenario.BurstyScenario`'s), during
+        which the flow sends at ``flow.rate * peak_factor``; only the
+        packet arrival times within a window are random.
+        """
+        return [
+            ScheduledSource(
+                self.engine,
+                self.inject,
+                flow,
+                random.Random(self._source_rng.getrandbits(64)),
+                periods=schedules.get(flow.label(), []),
+                peak_rate=flow.rate * peak_factor,
+                stop=stop,
+            )
+            for flow in flows
+        ]
+
+    # ------------------------------------------------------------------
+    # topology dynamics
+    # ------------------------------------------------------------------
+    def set_link_up(self, link_id: LinkId, up: bool) -> None:
+        """Fail or restore one directed link.
+
+        Failing drops the packets queued on it (counted by the flow
+        monitor); packets already propagating were transmitted before
+        the cut and still arrive.  Idempotent per direction.
+        """
+        try:
+            link = self.links[link_id]
+        except KeyError:
+            raise TopologyError(f"unknown link {link_id!r}")
+        if up and not link.up:
+            link.restore()
+        elif not up and link.up:
+            link.fail()
 
     # ------------------------------------------------------------------
     # measurement

@@ -5,6 +5,10 @@
 - :class:`CBRSource` — constant bit rate (deterministic spacing).
 - :class:`OnOffSource` — exponential on/off bursts; the "very bursty"
   dynamic traffic the paper argues single-path routing handles poorly.
+- :class:`ScheduledSource` — on/off bursts replaying *precomputed*
+  (start, end) windows, so a
+  :class:`~repro.sim.scenario.BurstyScenario`'s schedule plays out
+  identically on the fluid and packet planes.
 
 All sources take an injection callback ``inject(packet)`` so they are
 independent of the network plumbing, and an explicit ``random.Random``
@@ -167,6 +171,59 @@ class OnOffSource(_SourceBase):
         self.engine.schedule(
             self.rng.expovariate(1.0 / self.mean_off), self._begin_on
         )
+
+    def _fire(self) -> None:
+        if not self._within_window() or self.engine.now > self.on_until:
+            return
+        self._emit()
+        self.engine.schedule(self.rng.expovariate(self.peak_rate), self._fire)
+
+
+class ScheduledSource(_SourceBase):
+    """Poisson arrivals at ``peak_rate`` during precomputed on-periods.
+
+    Unlike :class:`OnOffSource` (which draws its own exponential
+    periods), the on/off pattern is given as explicit ``(start, end)``
+    windows — only the packet arrival times within a window are random.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        inject: InjectFn,
+        flow: Flow,
+        rng: random.Random,
+        *,
+        periods: list[tuple[float, float]],
+        peak_rate: float,
+        stop: float | None = None,
+    ) -> None:
+        super().__init__(engine, inject, flow, stop=stop)
+        if peak_rate <= 0:
+            raise SimulationError(
+                f"scheduled source needs a positive peak rate, "
+                f"got {peak_rate!r}"
+            )
+        self.rng = rng
+        self.peak_rate = peak_rate
+        self.on_until = 0.0
+        for start, end in periods:
+            if end <= start:
+                raise SimulationError(
+                    f"empty on-period ({start!r}, {end!r})"
+                )
+            if stop is not None and start >= stop:
+                break
+            engine.schedule_at(start, self._begin_closure(end))
+
+    def _begin_closure(self, end: float):
+        return lambda: self._begin_on(end)
+
+    def _begin_on(self, end: float) -> None:
+        if not self._within_window():
+            return
+        self.on_until = end
+        self.engine.schedule(self.rng.expovariate(self.peak_rate), self._fire)
 
     def _fire(self) -> None:
         if not self._within_window() or self.engine.now > self.on_until:

@@ -102,10 +102,15 @@ NULL_TRACER = NullTracer()
 #: downstream consumers (``repro report``, external tooling) can rely on
 #: them.
 EVENT_SCHEMAS: dict[str, frozenset[str]] = {
-    # fluid runner: one per Ts epoch
+    # controller: one per Ts epoch (either data plane)
     "epoch": frozenset({"t", "run", "avg_delay", "max_utilization"}),
-    # packet runner: one per Ts measurement tick
+    # packet plane: one per Ts measurement tick
     "ts_tick": frozenset({"t", "tick", "delivered", "dropped"}),
+    # controller: a scenario outage started/ended on a directed link;
+    # the data plane saw the physical event (queued packets dropped)
+    # and the routing plane was notified
+    "link_down": frozenset({"t", "link", "plane"}),
+    "link_up": frozenset({"t", "link", "plane"}),
     # protocol driver: one per delivered LSU
     "lsu_deliver": frozenset({"link", "entries", "ack", "delivered"}),
     # MPDA synchronization phases

@@ -1,17 +1,30 @@
-"""Experiment harness: scenarios and the two-timescale simulators.
+"""Experiment harness: scenarios and the two-timescale control kernel.
 
 - :mod:`repro.sim.scenario` — workload descriptions (static CAIRN/NET1
-  as in the paper's Section 5, dynamic bursty variants);
-- :mod:`repro.sim.runner` — the quasi-static (fluid) simulator driving
-  MP/SP through the paper's ``Tl`` / ``Ts`` update discipline, plus the
-  OPT evaluation;
-- :mod:`repro.sim.packet_runner` — the same discipline over the
-  packet-level simulator;
+  as in the paper's Section 5, dynamic bursty and failure variants);
+- :mod:`repro.sim.control` — the unified two-timescale controller
+  driving a pluggable data plane (fluid or packet) through the paper's
+  ``Tl`` / ``Ts`` update discipline;
+- :mod:`repro.sim.runner` — the legacy fluid entry point (a thin shim)
+  plus the OPT evaluation;
+- :mod:`repro.sim.packet_runner` — the legacy packet entry point (a
+  thin shim);
 - :mod:`repro.sim.results` — epoch records and run summaries.
 """
 
+from repro.sim.control import (
+    DataPlane,
+    FluidPlane,
+    PacketPlane,
+    PacketRunConfig,
+    QuasiStaticConfig,
+    RunConfig,
+    TwoTimescaleController,
+    run,
+)
+from repro.sim.packet_runner import run_packet_level
 from repro.sim.results import EpochRecord, RunResult
-from repro.sim.runner import QuasiStaticConfig, run_opt, run_quasi_static
+from repro.sim.runner import run_opt, run_quasi_static
 from repro.sim.scenario import (
     Scenario,
     bursty_scenario,
@@ -26,8 +39,16 @@ __all__ = [
     "net1_scenario",
     "bursty_scenario",
     "with_failures",
+    "RunConfig",
     "QuasiStaticConfig",
+    "PacketRunConfig",
+    "DataPlane",
+    "FluidPlane",
+    "PacketPlane",
+    "TwoTimescaleController",
+    "run",
     "run_quasi_static",
+    "run_packet_level",
     "run_opt",
     "EpochRecord",
     "RunResult",

@@ -1,66 +1,21 @@
-"""The two-timescale discipline over the packet-level simulator.
+"""The packet-level runner — now a thin plane adapter.
 
-Ties together the packet data plane (:mod:`repro.netsim`), the
-measurement plumbing (link monitors + cost estimators) and the routing
-plane (:class:`~repro.core.router.MPRouting`) with simulated-time
-timers:
-
-- every ``Ts``: close the link measurement windows, feed the estimators,
-  run AH with the fresh local costs;
-- every ``Tl``: use the (estimator-smoothed) costs to recompute routes
-  and reseed allocations.
-
-This is the paper's system end-to-end: Poisson or bursty packet sources,
-M/M/1-behaving links, marginal-delay estimation from real measurements,
-MPDA-equivalent successor sets and IH/AH splitting — at packet
-granularity.  It is slower than the fluid runner, so the figure-scale
-sweeps use the fluid one and the test-suite cross-validates the two.
+The two-timescale discipline lives in :mod:`repro.sim.control`; this
+module keeps the historical entry point :func:`run_packet_level` as a
+deprecated shim over :func:`repro.sim.control.run` with the packet
+plane.  Scenario dynamics are honored uniformly by the controller:
+bursty scenarios replay their precomputed on/off schedules through
+scheduled sources, and failure scenarios fail/restore the physical
+links mid-run (the old runner silently ignored ``links_down_at``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro import obs
-from repro.core.router import MPRouting
-from repro.exceptions import SimulationError
-from repro.graph.topology import LinkId
-from repro.netsim.network import PacketNetwork
-from repro.sim.results import EpochRecord, RunResult
+from repro.sim.control import PacketRunConfig, run
+from repro.sim.results import RunResult
 from repro.sim.scenario import Scenario
 
-
-@dataclass
-class PacketRunConfig:
-    """Parameters of a packet-level run (mirrors QuasiStaticConfig)."""
-
-    tl: float = 10.0
-    ts: float = 2.0
-    duration: float = 60.0
-    warmup: float = 20.0
-    successor_limit: int | None = None
-    mode: str = "oracle"
-    damping: float = 1.0
-    seed: int = 0
-    service: str = "exponential"
-    estimator: str = "mm1"
-    cost_smoothing: float = 0.5
-    #: Per-link output buffer in packets (None = the paper's lossless
-    #: model); overflow drops are counted by the flow monitor.
-    queue_capacity: int | None = None
-
-    def __post_init__(self) -> None:
-        if self.ts <= 0 or self.tl < self.ts:
-            raise SimulationError("need 0 < Ts <= Tl")
-        ratio = self.tl / self.ts
-        if abs(ratio - round(ratio)) > 1e-9:
-            raise SimulationError("Tl must be an integer multiple of Ts")
-
-    @property
-    def label(self) -> str:
-        if self.successor_limit == 1:
-            return f"SP-TL-{self.tl:g}(pkt)"
-        return f"MP-TL-{self.tl:g}-TS-{self.ts:g}(pkt)"
+__all__ = ["PacketRunConfig", "run_packet_level"]
 
 
 def run_packet_level(
@@ -68,126 +23,7 @@ def run_packet_level(
 ) -> RunResult:
     """Run the full packet-level system and return per-flow delays.
 
-    Bursty scenarios are honored: the source set is built from the
-    scenario's base flows with on/off modulation when the scenario is a
-    :class:`~repro.sim.scenario.BurstyScenario`.
+    Deprecated shim: new code should call :func:`repro.sim.control.run`,
+    which selects the data plane from the config type.
     """
-    from repro.sim.scenario import BurstyScenario  # cycle-free local import
-
-    topo = scenario.topo
-    traffic = scenario.mean_traffic()
-    ob = obs.current()
-    mode = config.mode
-    if (
-        ob is not None
-        and ob.protocol_control_plane
-        and mode == "oracle"
-        and not getattr(scenario, "outages", None)
-    ):
-        # Same upgrade as the fluid runner: measure the real control
-        # plane (LSU counts, ACTIVE phases) instead of the oracle.
-        mode = "protocol"
-    routing = MPRouting(
-        topo,
-        traffic.destinations(),
-        successor_limit=config.successor_limit,
-        mode=mode,
-        damping=config.damping,
-        seed=config.seed,
-    )
-    if ob is not None:
-        ob.sim_time = 0.0
-    routing.update_routes(topo.idle_marginal_costs())
-
-    network = PacketNetwork(
-        topo,
-        routing,
-        seed=config.seed,
-        service=config.service,
-        estimator=config.estimator,
-        queue_capacity=config.queue_capacity,
-    )
-    if isinstance(scenario, BurstyScenario):
-        network.attach_onoff(
-            traffic.flows,
-            burstiness=scenario.burstiness,
-            mean_on=scenario.mean_on,
-            stop=config.duration,
-        )
-    else:
-        network.attach_poisson(traffic, stop=config.duration)
-
-    engine = network.engine
-    state = {
-        "tick": 0,
-        "long_costs": dict(topo.idle_marginal_costs()),
-    }
-    ticks_per_tl = round(config.tl / config.ts)
-
-    def on_tick() -> None:
-        state["tick"] += 1
-        if ob is not None:
-            ob.sim_time = engine.now
-        with obs.phase(ob, "packet.measure"):
-            costs = network.measure_costs()
-        # Estimators can momentarily report ~0 on idle links before any
-        # traffic; routing requires positive costs.
-        floor = {
-            link_id: max(cost, 1e-9)
-            for link_id, cost in costs.items()
-        }
-        if state["tick"] % ticks_per_tl == 0:
-            alpha = config.cost_smoothing
-            prev: dict[LinkId, float] = state["long_costs"]
-            smoothed = {
-                link_id: alpha * floor[link_id]
-                + (1.0 - alpha) * prev.get(link_id, floor[link_id])
-                for link_id in floor
-            }
-            state["long_costs"] = smoothed
-            routing.update_routes(smoothed)
-        else:
-            routing.adjust_allocation(floor)
-        if ob is not None and ob.tracer.enabled:
-            ob.tracer.event(
-                "ts_tick",
-                time=engine.now,
-                tick=state["tick"],
-                delivered=network.flow_monitor.total_delivered(),
-                dropped=network.flow_monitor.total_dropped(),
-            )
-
-    engine.every(config.ts, on_tick, tier=2)
-    network.run(until=config.duration)
-
-    result = RunResult(
-        label=config.label, scenario=scenario.name, warmup=0.0
-    )
-    # Packet-level delays come from delivered packets; warmup exclusion
-    # would need per-window accounting, so run long enough that the
-    # transient is negligible (or subtract via two runs).
-    result.records.append(
-        EpochRecord(
-            time=config.duration,
-            total_delay=float("nan"),
-            average_delay=_aggregate_mean(network),
-            flow_delays=network.mean_flow_delays(),
-            max_utilization=max(
-                network.link_utilizations().values(), default=0.0
-            ),
-        )
-    )
-    result.protocol_stats = routing.protocol_stats()
-    if ob is not None:
-        ob.sim_time = None
-        network.harvest_metrics(ob.metrics)
-        result.metrics = ob.snapshot()
-    return result
-
-
-def _aggregate_mean(network: PacketNetwork) -> float:
-    records = network.flow_monitor.flows.values()
-    delivered = sum(r.delivered for r in records)
-    if not delivered:
-        return 0.0
-    return sum(r.delay_sum for r in records) / delivered
+    return run(scenario, config)

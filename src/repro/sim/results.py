@@ -35,6 +35,9 @@ class RunResult:
     scenario: str
     records: list[EpochRecord] = field(default_factory=list)
     warmup: float = 0.0
+    #: Which data plane produced the records ("fluid" / "packet"; ""
+    #: for results built outside the controller, e.g. OPT).
+    plane: str = ""
     protocol_stats: dict[str, int] = field(default_factory=dict)
     #: Snapshot of the active observation at run end (``{"metrics": ...,
     #: "timings": ...}``); ``None`` when observability was disabled.

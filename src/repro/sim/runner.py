@@ -1,271 +1,39 @@
-"""The quasi-static (fluid) simulator — the engine behind the figures.
+"""The quasi-static (fluid) runner — now a thin plane adapter.
 
-Implements the paper's two-timescale update discipline over the fluid
-data plane:
-
-- every short interval ``Ts`` the routers measure marginal link delays
-  for the *current* flows and run the AH allocation heuristic (a purely
-  local computation);
-- every long interval ``Tl`` the measured costs (averaged over the
-  window, as a real router would) are flooded, routes are recomputed
-  (MPDA's converged sets, or the live protocol), and IH re-seeds any
-  allocation whose successor set changed.
-
-Within each epoch the network is evaluated analytically with the same
-M/M/1 law the paper's cost function assumes, so route-flapping and load
-balancing play out exactly as in a packet simulation, minus the
-sampling noise — the shapes the paper's figures report (who wins, by
-what factor, what Tl does) are properties of these dynamics.
-
-``successor_limit=1`` gives the paper's SP baseline; :func:`run_opt`
-gives the OPT reference point, valid for stationary traffic only (as the
-paper stresses).
+The two-timescale discipline itself lives in
+:mod:`repro.sim.control`; this module keeps the historical entry point
+:func:`run_quasi_static` (a deprecated shim over
+:func:`repro.sim.control.run` with the fluid plane) and the OPT
+evaluation :func:`run_opt`, which is not a two-timescale run at all —
+Gallager's optimum is computed once on the stationary traffic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro import obs
-from repro.core.router import MPRouting
-from repro.exceptions import SimulationError
 from repro.fluid.delay import DelayModel
-from repro.fluid.evaluator import evaluate, flow_delays, link_flows
-from repro.fluid.queues import FluidQueues
+from repro.fluid.evaluator import evaluate
 from repro.gallager.opt import GallagerResult, optimize
-from repro.graph.topology import LinkId
+from repro.sim.control import QuasiStaticConfig, run
 from repro.sim.results import EpochRecord, RunResult
 from repro.sim.scenario import Scenario
 
-
-@dataclass
-class QuasiStaticConfig:
-    """Parameters of a quasi-static run.
-
-    Attributes:
-        tl: long-term (route) update interval, seconds.
-        ts: short-term (allocation) update interval, seconds.
-        duration: simulated time.
-        warmup: epochs before this time are excluded from averages.
-        successor_limit: None = MP, 1 = SP, other = ablation.
-        mode: "oracle" (converged MPDA sets) or "protocol" (real MPDA).
-        damping: AH step damping.
-        seed: protocol-mode delivery interleaving seed.
-        queue_limit: per-link output buffer, packets; caps what a packet
-            can experience during overload epochs (None = infinite).
-    """
-
-    tl: float = 10.0
-    ts: float = 2.0
-    duration: float = 200.0
-    warmup: float = 40.0
-    successor_limit: int | None = None
-    mode: str = "oracle"
-    #: "lfi" (the paper's unequal-cost multipath) or "ecmp" (OSPF's
-    #: equal-cost-only baseline).
-    path_rule: str = "lfi"
-    damping: float = 1.0
-    seed: int = 0
-    queue_limit: float | None = 100.0
-    #: Weight of the newest Tl window in the long-term cost EWMA.  1.0
-    #: uses the raw window measurement; smaller values smooth the costs
-    #: across windows, damping route flapping the way a real router's
-    #: long-interval averaging does.
-    cost_smoothing: float = 0.5
-
-    def __post_init__(self) -> None:
-        if self.ts <= 0 or self.tl <= 0:
-            raise SimulationError("Tl and Ts must be positive")
-        if self.tl < self.ts:
-            raise SimulationError(
-                f"Tl ({self.tl}) must be at least Ts ({self.ts}); the paper "
-                "requires Tl to be several times longer"
-            )
-        ratio = self.tl / self.ts
-        if abs(ratio - round(ratio)) > 1e-9:
-            raise SimulationError(
-                f"Tl ({self.tl}) must be an integer multiple of Ts ({self.ts})"
-            )
-        if self.duration <= self.warmup:
-            raise SimulationError("duration must exceed warmup")
-
-    @property
-    def label(self) -> str:
-        """The paper's plot-key convention (MP-TL-x-TS-y / SP-TL-x)."""
-        if self.successor_limit == 1:
-            return f"SP-TL-{self.tl:g}"
-        if self.path_rule == "ecmp":
-            return f"ECMP-TL-{self.tl:g}-TS-{self.ts:g}"
-        if self.path_rule == "ecmp-hop":
-            return "ECMP-HOP"
-        prefix = "MP" if self.successor_limit is None else (
-            f"MP{self.successor_limit}"
-        )
-        return f"{prefix}-TL-{self.tl:g}-TS-{self.ts:g}"
+__all__ = ["QuasiStaticConfig", "run_quasi_static", "run_opt"]
 
 
 def run_quasi_static(
     scenario: Scenario, config: QuasiStaticConfig
 ) -> RunResult:
-    """Run MP (or SP) through the two-timescale discipline.
+    """Run MP (or SP) through the two-timescale discipline (fluid plane).
+
+    Deprecated shim: new code should call :func:`repro.sim.control.run`,
+    which selects the data plane from the config type.
 
     Returns:
         A :class:`RunResult` whose per-flow means reproduce one curve of
         the paper's figures.
     """
-    topo = scenario.topo
-    model = DelayModel.for_topology(topo, queue_limit=config.queue_limit)
-    destinations = scenario.mean_traffic().destinations()
-    ob = obs.current()
-    routing = MPRouting(
-        topo,
-        destinations,
-        successor_limit=config.successor_limit,
-        mode=_effective_mode(config, scenario, ob),
-        path_rule=config.path_rule,
-        damping=config.damping,
-        seed=config.seed,
-    )
-
-    # Boot: no measurements yet, so paths come from idle marginal costs,
-    # which also seed the long-term cost average.
-    if ob is not None:
-        ob.sim_time = 0.0
-    boot_costs = topo.idle_marginal_costs()
-    links_down = scenario.links_down_at(0.0)
-    routing.update_routes(_without(boot_costs, links_down))
-
-    result = RunResult(
-        label=config.label, scenario=scenario.name, warmup=config.warmup
-    )
-    epochs_per_tl = round(config.tl / config.ts)
-    queues = FluidQueues(model, config.queue_limit)
-    window_costs: dict[LinkId, float] = {}
-    window_epochs = 0
-    long_costs: dict[LinkId, float] = dict(boot_costs)
-
-    time = 0.0
-    epoch_index = 0
-    while time < config.duration:
-        if ob is not None:
-            # Stamp the shared sim clock so protocol-driver trace events
-            # fired inside update_routes carry this epoch's time.
-            ob.sim_time = time
-        # Topology events: failure detection is immediate in MPDA (an
-        # adjacent-link event, not a Tl timer), so routes react at the
-        # epoch where the outage starts/ends.
-        now_down = scenario.links_down_at(time)
-        if now_down != links_down:
-            for link_id in now_down - links_down:
-                queues.drop_link(link_id)
-            links_down = now_down
-            routing.update_routes(_without(long_costs, links_down))
-
-        traffic = scenario.traffic_at(time)
-        with obs.phase(ob, "fluid.epoch"):
-            flows = link_flows(routing.phi(), traffic)
-            per_unit = queues.step(flows, config.ts)
-            total_delay = sum(
-                flow * per_unit[link_id] for link_id, flow in flows.items()
-            )
-            total_rate = traffic.total_rate()
-            record = EpochRecord(
-                time=time,
-                total_delay=total_delay,
-                average_delay=(
-                    total_delay / total_rate if total_rate > 0 else 0.0
-                ),
-                flow_delays=flow_delays(routing.phi(), traffic, per_unit),
-                max_utilization=max(
-                    (
-                        model[link_id].utilization(flow)
-                        for link_id, flow in flows.items()
-                    ),
-                    default=0.0,
-                ),
-            )
-        if ob is not None:
-            record.metrics = {
-                "route_updates": float(routing.route_updates),
-                "allocation_updates": float(routing.allocation_updates),
-            }
-            if ob.tracer.enabled:
-                ob.tracer.event(
-                    "epoch",
-                    time=time,
-                    run=config.label,
-                    avg_delay=record.average_delay,
-                    max_utilization=record.max_utilization,
-                )
-        result.records.append(record)
-
-        # Measurements at the end of the epoch.
-        short_costs = queues.costs(flows, per_unit)
-        for link_id, cost in short_costs.items():
-            window_costs[link_id] = window_costs.get(link_id, 0.0) + cost
-        window_epochs += 1
-
-        time += config.ts
-        epoch_index += 1
-        if epoch_index % epochs_per_tl == 0:
-            measured = {
-                link_id: total / window_epochs
-                for link_id, total in window_costs.items()
-            }
-            alpha = config.cost_smoothing
-            if alpha >= 1.0:
-                long_costs = measured
-            else:
-                long_costs = {
-                    link_id: alpha * measured[link_id]
-                    + (1.0 - alpha) * long_costs[link_id]
-                    for link_id in measured
-                }
-            routing.update_routes(_without(long_costs, links_down))
-            window_costs = {}
-            window_epochs = 0
-        else:
-            routing.adjust_allocation(_without(short_costs, links_down))
-
-    result.protocol_stats = routing.protocol_stats()
-    if ob is not None:
-        ob.sim_time = None
-        result.metrics = ob.snapshot()
-    return result
-
-
-def _effective_mode(
-    config: QuasiStaticConfig, scenario: Scenario, ob
-) -> str:
-    """Upgrade oracle runs to the live protocol while observing.
-
-    Control-plane metrics (LSU counts, ACTIVE phases, ACK round-trips)
-    only exist when the real MPDA exchange runs; Theorem 4 makes both
-    backends converge to the same successor sets, so results match.
-    The upgrade is limited to the paper's LFI rule on stable topologies
-    (the oracle handles outages by recomputing over the surviving links,
-    which the protocol backend models differently).
-    """
-    if (
-        ob is not None
-        and ob.protocol_control_plane
-        and config.mode == "oracle"
-        and config.path_rule == "lfi"
-        and not getattr(scenario, "outages", None)
-    ):
-        return "protocol"
-    return config.mode
-
-
-def _without(costs, links_down):
-    """A cost map with failed links removed (routers cannot use them)."""
-    if not links_down:
-        return costs
-    return {
-        link_id: cost
-        for link_id, cost in costs.items()
-        if link_id not in links_down
-    }
+    return run(scenario, config)
 
 
 def run_opt(

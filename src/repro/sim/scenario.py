@@ -125,6 +125,15 @@ class BurstyScenario(Scenario):
                 t += on + rng.expovariate(1.0 / mean_off)
             self._schedules[flow.label()] = periods
 
+    def schedule_for(self, flow_label: str) -> list[tuple[float, float]]:
+        """The flow's precomputed (start, end) on-periods.
+
+        This is the schedule both data planes replay: the fluid plane
+        samples it via :meth:`traffic_at`, the packet plane drives
+        scheduled sources from it directly.
+        """
+        return list(self._schedules.get(flow_label, ()))
+
     def is_on(self, flow_label: str, time: float) -> bool:
         for start, end in self._schedules.get(flow_label, ()):
             if start <= time < end:

@@ -79,18 +79,18 @@ class TestExperimentsNumbers:
     def test_delay_quantiles(self):
         report = _rebuild("packet_net1")
         quantiles = report["delay"]["quantiles"]
-        assert quantiles["count"] == 52819
-        assert quantiles["p50"] == pytest.approx(4.733e-3, rel=1e-3)
-        assert quantiles["p90"] == pytest.approx(8.930e-3, rel=1e-3)
-        assert quantiles["p99"] == pytest.approx(14.257e-3, rel=1e-3)
+        assert quantiles["count"] == 52822
+        assert quantiles["p50"] == pytest.approx(4.626e-3, rel=1e-3)
+        assert quantiles["p90"] == pytest.approx(8.823e-3, rel=1e-3)
+        assert quantiles["p99"] == pytest.approx(13.950e-3, rel=1e-3)
 
     def test_delay_decomposition(self):
         fractions = _rebuild("packet_net1")["delay"]["decomposition"][
             "fractions"
         ]
-        assert fractions["queueing"] == pytest.approx(0.156, abs=1e-3)
-        assert fractions["transmission"] == pytest.approx(0.375, abs=1e-3)
-        assert fractions["propagation"] == pytest.approx(0.469, abs=1e-3)
+        assert fractions["queueing"] == pytest.approx(0.140, abs=1e-3)
+        assert fractions["transmission"] == pytest.approx(0.382, abs=1e-3)
+        assert fractions["propagation"] == pytest.approx(0.478, abs=1e-3)
 
 
 class TestReportCLI:
