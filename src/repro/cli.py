@@ -10,6 +10,9 @@ Usage::
     python -m repro converge --trace t.jsonl --metrics-out m.json
     python -m repro packet-converge --trace t.jsonl --json results.json
     python -m repro report t.jsonl --metrics m.json --json report.json
+    python -m repro loss-sweep --rates 0 0.05 0.1 0.2
+    python -m repro fuzz -n 100 --seed 0 --out-dir fuzz-artifacts
+    python -m repro replay fuzz-artifacts/fuzz-case-17.json
 
 Equivalent to the ``benchmarks/`` suite but without pytest — handy for
 one-off runs and for piping tables elsewhere.
@@ -43,6 +46,7 @@ from repro.bench.convergence import (
     render_packet_failover_table,
 )
 from repro.bench.figures import FigureResult
+from repro.bench.loss import DEFAULT_RATES, loss_sweep, render_loss_table
 from repro.bench.overhead import overhead_experiment, render_overhead_table
 from repro.bench.reporting import render_flow_table, render_series
 from repro.obs.convergence import read_trace
@@ -266,6 +270,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the rendered table to this file",
     )
 
+    loss = sub.add_parser(
+        "loss-sweep",
+        help=(
+            "overhead + convergence vs. wire loss rate (reliable "
+            "transport over a lossy channel, audited)"
+        ),
+    )
+    loss.add_argument(
+        "--topo",
+        choices=["cairn", "net1", "all"],
+        default="all",
+        help="which evaluation topology to run (default all)",
+    )
+    loss.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=list(DEFAULT_RATES),
+        metavar="P",
+        help="loss rates to sweep (default 0 0.05 0.1 0.2)",
+    )
+    loss.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="delivery-interleaving seed (default 0)",
+    )
+    loss.add_argument(
+        "--json",
+        dest="json_out",
+        metavar="PATH",
+        default=None,
+        help="write the per-rate results as JSON to this file",
+    )
+    loss.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the rendered table to this file",
+    )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help=(
+            "schedule fuzzing: random topologies + fault schedules, "
+            "Theorem 3 audited on every delivery"
+        ),
+    )
+    fuzz.add_argument(
+        "-n",
+        "--iterations",
+        type=int,
+        default=50,
+        metavar="N",
+        help="number of fuzz cases to run (default 50)",
+    )
+    fuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="seed of the first case; case i uses seed S+i (default 0)",
+    )
+    fuzz.add_argument(
+        "--raw",
+        action="store_true",
+        help=(
+            "drop the reliable-transport shim and run MPDA over the raw "
+            "faulty channel (failures are then expected: the paper "
+            "assumes reliable delivery)"
+        ),
+    )
+    fuzz.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        default="fuzz-artifacts",
+        help="directory for failure replay artifacts "
+        "(default fuzz-artifacts)",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="deterministically re-execute a fuzz failure artifact",
+    )
+    replay.add_argument(
+        "artifact",
+        metavar="ARTIFACT",
+        help="JSON artifact written by 'repro fuzz'",
+    )
+
     report = sub.add_parser(
         "report",
         help="post-process a JSONL trace (+ metrics snapshot) into a run "
@@ -405,6 +500,52 @@ def _run_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_loss_sweep(args: argparse.Namespace) -> int:
+    topologies = (
+        ("cairn", "net1") if args.topo == "all" else (args.topo,)
+    )
+    obs.start(audit=True)
+    try:
+        results = loss_sweep(
+            rates=tuple(args.rates), seed=args.seed, topologies=topologies
+        )
+    finally:
+        obs.stop()
+    text = render_loss_table(results)
+    print(text)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(
+                [result.as_dict() for result in results], fh, indent=2
+            )
+            fh.write("\n")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from repro.testing import fuzz as run_fuzz
+
+    report = run_fuzz(
+        args.iterations,
+        seed=args.seed,
+        reliable=not args.raw,
+        out_dir=args.out_dir,
+    )
+    print(report.render())
+    return 0 if report.clean else 1
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    from repro.testing import replay as run_replay
+
+    result = run_replay(args.artifact)
+    print(result.render())
+    return 0 if result.reproduced else 1
+
+
 def _run_overhead(args: argparse.Namespace) -> int:
     reports = overhead_experiment(epochs=args.epochs, seed=args.seed)
     text = render_overhead_table(reports)
@@ -432,6 +573,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "packet-converge":
         return _run_packet_converge(args)
+
+    if args.command == "loss-sweep":
+        return _run_loss_sweep(args)
+
+    if args.command == "fuzz":
+        return _run_fuzz(args)
+
+    if args.command == "replay":
+        return _run_replay(args)
 
     if args.command == "report":
         return _run_report(args)

@@ -14,6 +14,9 @@ Components (Section 4 of the paper):
   ACTIVE/PASSIVE synchronization enforcing the LFI conditions;
 - :mod:`repro.core.driver` — a deterministic message-passing driver for
   running a network of protocol routers to quiescence;
+- :mod:`repro.core.transport` — the pluggable channel model under the
+  driver: the paper's perfect links, a seeded faulty wire, and the
+  reliable shim that enforces the paper's delivery assumption;
 - :mod:`repro.core.spf` — the paper's single-path (SP) restriction;
 - :mod:`repro.core.router` — the assembled MP router (MPDA + IH/AH with
   the two-timescale Tl / Ts update discipline).
@@ -33,6 +36,12 @@ from repro.core.pda import PDARouter
 from repro.core.driver import ProtocolDriver
 from repro.core.router import MPRouting
 from repro.core.spf import single_path_successors
+from repro.core.transport import (
+    FaultyChannel,
+    PerfectChannel,
+    ReliableTransport,
+    Transport,
+)
 
 __all__ = [
     "MM1CostEstimator",
@@ -52,4 +61,8 @@ __all__ = [
     "ProtocolDriver",
     "MPRouting",
     "single_path_successors",
+    "Transport",
+    "PerfectChannel",
+    "FaultyChannel",
+    "ReliableTransport",
 ]

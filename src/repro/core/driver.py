@@ -2,11 +2,19 @@
 
 The routers in :mod:`repro.core.pda` / :mod:`repro.core.mpda` are
 transport-agnostic: they queue outgoing LSUs on an outbox.  This driver
-supplies the paper's delivery assumptions — "messages transmitted over an
-operational link are received correctly and in the proper sequence within
-a finite time and are processed one at a time in the order received" —
-with per-link FIFO channels and a seeded random interleaving across
-channels, so tests can explore many asynchronous schedules reproducibly.
+pumps those messages through a pluggable :class:`~repro.core.transport.
+Transport` with a seeded random interleaving across links, so tests can
+explore many asynchronous schedules reproducibly.
+
+The default transport, :class:`~repro.core.transport.PerfectChannel`,
+supplies the paper's delivery assumptions verbatim — "messages
+transmitted over an operational link are received correctly and in the
+proper sequence within a finite time and are processed one at a time in
+the order received".  Passing a :class:`~repro.core.transport.
+FaultyChannel` subjects the protocol to loss / duplication / reordering
+/ delay / partitions instead, and wrapping that in a
+:class:`~repro.core.transport.ReliableTransport` *enforces* the paper's
+assumption over the faulty wire (see :mod:`repro.core.transport`).
 
 The driver can machine-check Theorem 3 (instantaneous loop freedom) after
 *every single delivery* via :func:`repro.core.mpda.check_safety`.
@@ -15,14 +23,14 @@ The driver can machine-check Theorem 3 (instantaneous loop freedom) after
 from __future__ import annotations
 
 import random
-from collections import deque
 from collections.abc import Callable, Mapping
 from time import perf_counter
 
 from repro import obs
-from repro.core.linkstate import INFINITY, LSUMessage
+from repro.core.linkstate import INFINITY
 from repro.core.mpda import MPDARouter, check_safety
 from repro.core.pda import PDARouter
+from repro.core.transport import PerfectChannel, Transport
 from repro.exceptions import ConvergenceError, RoutingError, TopologyError
 from repro.graph.shortest_paths import CostMap, dijkstra
 from repro.graph.topology import LinkId, NodeId, Topology
@@ -42,7 +50,15 @@ class ProtocolDriver:
         seed: seed for the delivery interleaving.
         check_invariants: when True (and the routers are MPDA), verify the
             LFI safety property after every event.
+        transport: the channel model control messages travel through;
+            defaults to a fresh :class:`PerfectChannel` (the paper's
+            delivery assumption, the historical behavior).
     """
+
+    #: Bound on consecutive clock ticks without a deliverable frame; a
+    #: transport that asks for more is wedged (e.g. retransmitting into
+    #: a permanent partition) and the run aborts with ConvergenceError.
+    MAX_IDLE_TICKS = 10_000
 
     def __init__(
         self,
@@ -51,14 +67,14 @@ class ProtocolDriver:
         *,
         seed: int = 0,
         check_invariants: bool = False,
+        transport: Transport | None = None,
     ) -> None:
         self.topo = topo
         self.routers: dict[NodeId, PDARouter] = {
             node: router_factory(node) for node in topo.nodes
         }
-        self._channels: dict[LinkId, deque[LSUMessage]] = {
-            ln.link_id: deque() for ln in topo.links()
-        }
+        self.transport = transport if transport is not None else PerfectChannel()
+        self.transport.attach([ln.link_id for ln in topo.links()])
         self._rng = random.Random(seed)
         self.check_invariants = check_invariants
         self.delivered = 0
@@ -102,18 +118,22 @@ class ProtocolDriver:
     def fail_link(self, a: NodeId, b: NodeId) -> None:
         """Fail the duplex link ``a <-> b``, dropping in-flight messages."""
         self._require_started()
+        self._require_duplex(a, b)
         self._note_disturbance("link_down", (a, b))
-        self._channels[(a, b)].clear()
-        self._channels[(b, a)].clear()
+        self.transport.link_down(a, b)
         for head, tail in ((a, b), (b, a)):
             router = self.routers[head]
             if tail in router.link_costs:
                 self._event(router, router.link_down, tail)
 
-    def restore_link(self, a: NodeId, b: NodeId, cost_ab: float, cost_ba: float) -> None:
+    def restore_link(
+        self, a: NodeId, b: NodeId, cost_ab: float, cost_ba: float
+    ) -> None:
         """Bring the duplex link ``a <-> b`` back up."""
         self._require_started()
+        self._require_duplex(a, b)
         self._note_disturbance("link_up", (a, b))
+        self.transport.link_up(a, b)
         for head, tail, cost in ((a, b, cost_ab), (b, a, cost_ba)):
             self._event(self.routers[head], self.routers[head].link_up, tail, cost)
 
@@ -121,33 +141,54 @@ class ProtocolDriver:
     # message pump
     # ------------------------------------------------------------------
     def pending_messages(self) -> int:
-        """Messages currently in flight."""
-        return sum(len(q) for q in self._channels.values())
+        """Undelivered transport obligations (frames + unacked data)."""
+        return self.transport.pending()
 
     def step(self, _ob: object = _UNSET) -> bool:
-        """Deliver one in-flight message; False when the network is quiet.
+        """Deliver one in-flight frame; False when the network is quiet.
+
+        When nothing is deliverable but the transport still has
+        obligations (frames held by delay jitter, unacked data awaiting
+        a retransmit timer), the channel clock is ticked until a frame
+        becomes deliverable.  A step may deliver zero router messages
+        (e.g. a transport-level ACK) and still return True: progress was
+        made on the wire.
 
         ``_ob`` lets :meth:`run` hoist the observation lookup out of the
         delivery loop; direct callers leave it unset.
         """
-        busy = [link_id for link_id, q in self._channels.items() if q]
+        transport = self.transport
+        busy = transport.busy_links()
         if not busy:
-            return False
+            if not transport.pending():
+                return False
+            for _ in range(self.MAX_IDLE_TICKS):
+                transport.tick()
+                busy = transport.busy_links()
+                if busy:
+                    break
+                if not transport.pending():
+                    return False
+            else:
+                raise ConvergenceError(
+                    f"transport made no progress in {self.MAX_IDLE_TICKS} "
+                    "idle ticks"
+                )
         ob = obs.current() if _ob is _UNSET else _ob
         link_id = self._rng.choice(busy)
-        message = self._channels[link_id].popleft()
         receiver = self.routers[link_id[1]]
-        self.delivered += 1
-        if ob is not None and ob.tracer.enabled:
-            ob.tracer.event(
-                "lsu_deliver",
-                time=ob.sim_time,
-                link=link_id,
-                entries=len(message.entries),
-                ack=message.ack,
-                delivered=self.delivered,
-            )
-        self._event_ob(receiver, ob, receiver.receive, message)
+        for message in transport.pop(link_id):
+            self.delivered += 1
+            if ob is not None and ob.tracer.enabled:
+                ob.tracer.event(
+                    "lsu_deliver",
+                    time=ob.sim_time,
+                    link=link_id,
+                    entries=len(message.entries),
+                    ack=message.ack,
+                    delivered=self.delivered,
+                )
+            self._event_ob(receiver, ob, receiver.receive, message)
         return True
 
     def run(self, max_messages: int = 1_000_000) -> int:
@@ -274,6 +315,8 @@ class ProtocolDriver:
         overwrite rather than double-count.
         """
         registry.gauge("protocol.deliveries").set(self.delivered)
+        for name, value in self.transport.stats().items():
+            registry.gauge(f"transport.{name}").set(value)
         for node, router in self.routers.items():
             registry.gauge("protocol.lsu_sent", router=node).set(
                 router.lsu_sent
@@ -399,11 +442,11 @@ class ProtocolDriver:
                 )
 
     def _collect(self, router: PDARouter) -> None:
-        """Move a router's outbox into the channels."""
+        """Move a router's outbox into the transport."""
         for nbr, message in router.outbox:
-            channel = self._channels.get((router.node_id, nbr))
-            if channel is not None and nbr in router.link_costs:
-                channel.append(message)
+            link_id = (router.node_id, nbr)
+            if self.transport.has_link(link_id) and nbr in router.link_costs:
+                self.transport.send(link_id, message)
         router.outbox.clear()
 
     def _maybe_check(self) -> None:
@@ -420,6 +463,12 @@ class ProtocolDriver:
     def _require_started(self) -> None:
         if not self._started:
             raise RoutingError("driver not started; call start() first")
+
+    def _require_duplex(self, a: NodeId, b: NodeId) -> None:
+        if not (self.topo.has_link(a, b) and self.topo.has_link(b, a)):
+            raise TopologyError(
+                f"no duplex link {a!r} <-> {b!r} in {self.topo.name!r}"
+            )
 
     @staticmethod
     def _cost_for(costs: CostMap, head: NodeId, tail: NodeId) -> float:

@@ -113,6 +113,12 @@ EVENT_SCHEMAS: dict[str, frozenset[str]] = {
     "link_up": frozenset({"t", "link", "plane"}),
     # protocol driver: one per delivered LSU
     "lsu_deliver": frozenset({"link", "entries", "ack", "delivered"}),
+    # transport layer: a channel fault hit a wire frame; op is
+    # loss/dup/reorder/partition_drop, seq the per-link frame number
+    "transport_fault": frozenset({"op", "link", "seq"}),
+    # reliable transport: a retransmit timer fired and the unacked
+    # frames on the link were resent (attempt = consecutive timeouts)
+    "retransmit": frozenset({"link", "frames", "attempt"}),
     # MPDA synchronization phases
     "active_enter": frozenset({"node", "delivered"}),
     "active_exit": frozenset({"node", "wall_s", "messages"}),

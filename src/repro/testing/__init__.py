@@ -1,0 +1,37 @@
+"""repro.testing — adversarial correctness tooling.
+
+:mod:`repro.testing.fuzz` generates randomized event schedules
+(link failures/restores, cost changes, partitions) interleaved with
+configurable channel-fault profiles, runs MPDA under them with Theorem 3
+machine-checked after every delivery, and — on failure — emits a replay
+artifact that re-executes the exact run deterministically (the
+``repro fuzz`` / ``repro replay`` CLI).
+"""
+
+from repro.testing.fuzz import (
+    FaultProfile,
+    FuzzCase,
+    FuzzReport,
+    ReplayResult,
+    check_case,
+    fuzz,
+    generate_case,
+    load_artifact,
+    replay,
+    run_case,
+    write_artifact,
+)
+
+__all__ = [
+    "FaultProfile",
+    "FuzzCase",
+    "FuzzReport",
+    "ReplayResult",
+    "check_case",
+    "fuzz",
+    "generate_case",
+    "load_artifact",
+    "replay",
+    "run_case",
+    "write_artifact",
+]

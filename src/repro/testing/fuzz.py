@@ -1,0 +1,406 @@
+"""Schedule fuzzing: adversarial event sequences with per-delivery audits.
+
+The paper proves MPDA safe and live *assuming* reliable in-order
+delivery.  This harness treats both the schedule and the channel as an
+adversary (the posture of Andrews et al.'s adversarial-injection model):
+it generates random connected topologies, random fault profiles (loss,
+duplication, reordering, delay jitter, partitions) and random event
+schedules (``fail_link`` / ``restore_link`` / ``set_cost`` / timed
+``partition`` interleaved with bounded message pumping), runs the real
+protocol under them, and machine-checks Theorem 3 after **every**
+delivery (``check_invariants=True``) plus Theorems 2/4 at quiescence
+(:meth:`~repro.core.driver.ProtocolDriver.verify_converged`).
+
+Everything is derived from integer seeds, so every case is a pure
+function of its seed: a failure is captured as a JSON *replay artifact*
+(topology spec + fault profile + schedule + seeds + the observed error)
+and ``repro replay`` re-executes it deterministically — same schedule,
+same fault draws, same failure.
+
+With ``reliable=True`` (the default) the case runs over
+:class:`~repro.core.transport.ReliableTransport`, which *enforces* the
+paper's delivery model over the faulty wire: every generated case must
+pass.  With ``reliable=False`` the routers face the raw
+:class:`~repro.core.transport.FaultyChannel` — the paper's assumption is
+deliberately broken, and the harness demonstrates that the correctness
+results really do depend on it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import asdict, dataclass, field, replace
+
+from repro.core.driver import ProtocolDriver
+from repro.core.mpda import MPDARouter
+from repro.core.transport import FaultyChannel, ReliableTransport, Transport
+from repro.exceptions import ReproError
+from repro.graph.generators import random_connected
+from repro.graph.topologies import cairn, net1
+from repro.graph.topology import Topology
+
+ARTIFACT_VERSION = 1
+
+#: Event schedule ops (JSON-serializable lists, op first).
+OPS = ("fail_link", "restore_link", "set_cost", "partition", "pump")
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """A channel-fault configuration, serializable into artifacts."""
+
+    loss: float = 0.0
+    dup: float = 0.0
+    reorder: float = 0.0
+    jitter: int = 3
+    delay: int = 0
+    seed: int = 0
+    reliable: bool = True
+    timeout: int = 8
+    max_retries: int = 50
+
+    def build_transport(self) -> Transport:
+        channel = FaultyChannel(
+            seed=self.seed,
+            loss=self.loss,
+            dup=self.dup,
+            reorder=self.reorder,
+            jitter=self.jitter,
+            delay=self.delay,
+        )
+        if not self.reliable:
+            return channel
+        return ReliableTransport(
+            channel, timeout=self.timeout, max_retries=self.max_retries
+        )
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultProfile":
+        return cls(**doc)
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One fully-determined adversarial run."""
+
+    seed: int  # the generation seed (names the artifact)
+    topology: dict  # {"kind": "random", ...} or {"kind": "named", ...}
+    profile: FaultProfile
+    schedule: tuple[tuple, ...]  # (op, *args) events
+    driver_seed: int = 0
+    check_invariants: bool = True
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "topology": dict(self.topology),
+            "profile": self.profile.as_dict(),
+            "schedule": [list(event) for event in self.schedule],
+            "driver_seed": self.driver_seed,
+            "check_invariants": self.check_invariants,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FuzzCase":
+        return cls(
+            seed=doc["seed"],
+            topology=doc["topology"],
+            profile=FaultProfile.from_dict(doc["profile"]),
+            schedule=tuple(tuple(event) for event in doc["schedule"]),
+            driver_seed=doc["driver_seed"],
+            check_invariants=doc["check_invariants"],
+        )
+
+
+def build_topology(spec: dict) -> Topology:
+    """Materialize a topology spec from an artifact."""
+    kind = spec.get("kind")
+    if kind == "random":
+        return random_connected(
+            spec["n"], extra_links=spec["extra"], seed=spec["seed"]
+        )
+    if kind == "named":
+        factories = {"cairn": cairn, "net1": net1}
+        return factories[spec["name"]]()
+    raise ValueError(f"unknown topology spec {spec!r}")
+
+
+# ----------------------------------------------------------------------
+# generation
+# ----------------------------------------------------------------------
+def _generate_profile(rng: random.Random, reliable: bool) -> FaultProfile:
+    return FaultProfile(
+        loss=rng.choice([0.0, 0.05, 0.1, 0.2]),
+        dup=rng.choice([0.0, 0.05, 0.1]),
+        reorder=rng.choice([0.0, 0.1, 0.25]),
+        jitter=rng.randint(1, 4),
+        delay=rng.randint(0, 3),
+        seed=rng.randrange(2**16),
+        reliable=reliable,
+    )
+
+
+def generate_case(seed: int, *, reliable: bool = True) -> FuzzCase:
+    """A deterministic adversarial case from an integer seed.
+
+    The schedule is generated against a stateful model of which duplex
+    links are up, so every event is valid when executed in order
+    (failures only on up links, restores only on down links).
+    """
+    rng = random.Random(seed)
+    if rng.random() < 0.15:
+        topo_spec = {"kind": "named", "name": rng.choice(["net1", "cairn"])}
+    else:
+        n = rng.randint(4, 8)
+        max_extra = n * (n - 1) // 2 - (n - 1)
+        topo_spec = {
+            "kind": "random",
+            "n": n,
+            "extra": rng.randint(1, min(6, max_extra)),
+            "seed": rng.randrange(2**16),
+        }
+    topo = build_topology(topo_spec)
+    base_costs = topo.idle_marginal_costs()
+
+    up = sorted(
+        {tuple(sorted(ln.link_id, key=repr)) for ln in topo.links()},
+        key=repr,
+    )
+    down: list[tuple] = []
+    schedule: list[tuple] = []
+    for _ in range(rng.randint(2, 6)):
+        ops = ["set_cost", "pump", "partition"]
+        if len(up) > 1:
+            ops.append("fail_link")
+        if down:
+            ops.append("restore_link")
+        op = rng.choice(ops)
+        if op == "fail_link":
+            a, b = up.pop(rng.randrange(len(up)))
+            down.append((a, b))
+            schedule.append(("fail_link", a, b))
+        elif op == "restore_link":
+            a, b = down.pop(rng.randrange(len(down)))
+            up.append((a, b))
+            schedule.append(("restore_link", a, b))
+        elif op == "set_cost":
+            a, b = up[rng.randrange(len(up))]
+            head, tail = (a, b) if rng.random() < 0.5 else (b, a)
+            cost = base_costs[(head, tail)] * rng.uniform(0.5, 2.5)
+            schedule.append(("set_cost", head, tail, cost))
+        elif op == "partition":
+            a, b = up[rng.randrange(len(up))]
+            schedule.append(("partition", a, b, rng.randint(5, 40)))
+        else:
+            schedule.append(("pump", rng.randint(0, 40)))
+
+    return FuzzCase(
+        seed=seed,
+        topology=topo_spec,
+        profile=_generate_profile(rng, reliable),
+        schedule=tuple(schedule),
+        driver_seed=rng.randrange(2**16),
+    )
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def run_case(case: FuzzCase) -> dict:
+    """Execute one case; raises a :class:`ReproError` on any violation.
+
+    Events are applied *while messages are still in flight* (each is
+    followed only by however much pumping the schedule dictates), the
+    network is then run to quiescence, and the converged state is
+    verified against the Dijkstra oracle (Theorems 2 and 4).  With
+    ``check_invariants`` on, Theorem 3 is machine-checked after every
+    single delivery throughout.
+    """
+    topo = build_topology(case.topology)
+    base_costs = topo.idle_marginal_costs()
+    transport = case.profile.build_transport()
+    driver = ProtocolDriver(
+        topo,
+        MPDARouter,
+        seed=case.driver_seed,
+        check_invariants=case.check_invariants,
+        transport=transport,
+    )
+    driver.start(base_costs)
+    driver.run()
+    for event in case.schedule:
+        op, *args = event
+        if op == "fail_link":
+            driver.fail_link(args[0], args[1])
+        elif op == "restore_link":
+            a, b = args
+            driver.restore_link(a, b, base_costs[(a, b)], base_costs[(b, a)])
+        elif op == "set_cost":
+            head, tail, cost = args
+            driver.set_costs({(head, tail): cost})
+        elif op == "partition":
+            a, b, hold = args
+            transport.partition(a, b)
+            # Pump only while frames are deliverable: the window closes
+            # when the rest of the network drains, so a schedule cannot
+            # starve the retransmit budget behind its own partition.
+            for _ in range(hold):
+                if not transport.busy_links() or not driver.step():
+                    break
+            transport.heal(a, b)
+        elif op == "pump":
+            for _ in range(args[0]):
+                if not driver.step():
+                    break
+        else:
+            raise ValueError(f"unknown schedule op {op!r}")
+    driver.run()
+    driver.verify_converged()
+    return {
+        "delivered": driver.delivered,
+        "message_stats": driver.message_stats(),
+        "transport": transport.stats(),
+    }
+
+
+def check_case(case: FuzzCase) -> dict | None:
+    """Run a case; the failure record, or None when it passed clean."""
+    try:
+        run_case(case)
+    except ReproError as error:
+        return {"type": type(error).__name__, "message": str(error)}
+    return None
+
+
+# ----------------------------------------------------------------------
+# artifacts and replay
+# ----------------------------------------------------------------------
+def write_artifact(path: str, case: FuzzCase, failure: dict) -> None:
+    """Persist a failing case as a deterministic replay artifact."""
+    doc = {
+        "version": ARTIFACT_VERSION,
+        "case": case.as_dict(),
+        "failure": dict(failure),
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_artifact(path: str) -> tuple[FuzzCase, dict]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("version") != ARTIFACT_VERSION:
+        raise ValueError(
+            f"artifact {path!r} has version {doc.get('version')!r}, "
+            f"expected {ARTIFACT_VERSION}"
+        )
+    return FuzzCase.from_dict(doc["case"]), doc["failure"]
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of re-executing an artifact."""
+
+    reproduced: bool
+    recorded: dict
+    observed: dict | None  # None: the replay ran clean
+
+    def render(self) -> str:
+        if self.reproduced:
+            return (
+                "reproduced: {type}: {message}".format(**self.recorded)
+            )
+        observed = (
+            "{type}: {message}".format(**self.observed)
+            if self.observed
+            else "clean run"
+        )
+        return (
+            "NOT reproduced\n"
+            "  recorded: {type}: {message}\n".format(**self.recorded)
+            + f"  observed: {observed}"
+        )
+
+
+def replay(path: str) -> ReplayResult:
+    """Re-execute an artifact; deterministic, so the recorded failure
+    must come back verbatim unless the code under test changed."""
+    case, recorded = load_artifact(path)
+    observed = check_case(case)
+    return ReplayResult(
+        reproduced=observed == recorded,
+        recorded=recorded,
+        observed=observed,
+    )
+
+
+# ----------------------------------------------------------------------
+# the fuzz loop
+# ----------------------------------------------------------------------
+@dataclass
+class FuzzReport:
+    """Summary of one fuzzing session."""
+
+    cases: int = 0
+    failures: list[dict] = field(default_factory=list)  # per failing case
+    artifacts: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: {self.cases} cases, {len(self.failures)} failure(s)"
+        ]
+        for failure, artifact in zip(self.failures, self.artifacts):
+            lines.append(
+                f"  case seed {failure['seed']}: {failure['type']}: "
+                f"{failure['message']}"
+            )
+            lines.append(f"    artifact: {artifact}")
+            lines.append(f"    replay:   repro replay {artifact}")
+        return "\n".join(lines)
+
+
+def fuzz(
+    iterations: int,
+    *,
+    seed: int = 0,
+    reliable: bool = True,
+    out_dir: str = "fuzz-artifacts",
+    mutate=None,
+) -> FuzzReport:
+    """Generate and check ``iterations`` cases; artifact every failure.
+
+    ``mutate`` (a ``FuzzCase -> FuzzCase``) lets callers tamper with
+    generated cases — the test suite uses it to deliberately break the
+    delivery model and assert that artifacts replay deterministically.
+    """
+    report = FuzzReport()
+    for index in range(iterations):
+        case_seed = seed + index
+        case = generate_case(case_seed, reliable=reliable)
+        if mutate is not None:
+            case = mutate(case)
+        failure = check_case(case)
+        report.cases += 1
+        if failure is None:
+            continue
+        os.makedirs(out_dir, exist_ok=True)
+        artifact = os.path.join(out_dir, f"fuzz-case-{case_seed}.json")
+        write_artifact(artifact, case, failure)
+        report.failures.append({"seed": case_seed, **failure})
+        report.artifacts.append(artifact)
+    return report
+
+
+def unreliable(case: FuzzCase) -> FuzzCase:
+    """Strip the reliable shim from a case (a ``mutate`` helper)."""
+    return replace(case, profile=replace(case.profile, reliable=False))

@@ -2,11 +2,23 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.fluid.flows import Flow, TrafficMatrix
 from repro.graph.generators import grid, ring
 from repro.graph.topology import Topology
+
+# Hypothesis budgets for tests that leave ``max_examples`` to the
+# profile (the fuzzed-schedule properties): "dev" keeps local runs
+# fast, "ci" is the bounded budget the CI fuzz job selects via
+# HYPOTHESIS_PROFILE=ci.  Explicit @settings(max_examples=...) on the
+# older property tests override the profile either way.
+settings.register_profile("dev", max_examples=15, deadline=None)
+settings.register_profile("ci", max_examples=75, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

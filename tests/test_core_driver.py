@@ -1,9 +1,13 @@
 """The synchronous protocol driver."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.core.driver import ProtocolDriver
 from repro.core.mpda import MPDARouter
+from repro.core.transport import FaultyChannel, PerfectChannel, ReliableTransport
 from repro.exceptions import ConvergenceError, RoutingError, TopologyError
 
 
@@ -65,6 +69,102 @@ class TestDeterminism:
                 {n: r.distances for n, r in driver.routers.items()}
             )
         assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+class TestUnknownLinks:
+    """Regression: unknown pairs used to escape as a bare ``KeyError``."""
+
+    def test_fail_unknown_link_raises_topology_error(self, diamond):
+        driver = ProtocolDriver(diamond)
+        driver.start(diamond.uniform_costs(1.0))
+        driver.run()
+        with pytest.raises(TopologyError):
+            driver.fail_link("s", "zz")
+
+    def test_restore_unknown_link_raises_topology_error(self, diamond):
+        driver = ProtocolDriver(diamond)
+        driver.start(diamond.uniform_costs(1.0))
+        driver.run()
+        with pytest.raises(TopologyError):
+            driver.restore_link("zz", "t", 1.0, 1.0)
+
+
+def _trace_lines(path):
+    """Trace lines with the wall-clock fields stripped (the only
+    non-deterministic payload in an otherwise byte-identical run)."""
+    lines = []
+    with open(path) as fh:
+        for raw in fh:
+            record = json.loads(raw)
+            record.pop("wall_s", None)
+            lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+class TestTransportDeterminism:
+    def _faulty_run(self, topo, trace_path):
+        transport = ReliableTransport(
+            FaultyChannel(seed=11, loss=0.15, dup=0.05, reorder=0.2, delay=2)
+        )
+        obs.start(trace_path=trace_path)
+        try:
+            driver = ProtocolDriver(
+                topo, MPDARouter, seed=4, transport=transport
+            )
+            driver.start(topo.uniform_costs(1.0))
+            driver.run()
+            driver.fail_link("s", "a")
+            driver.run()
+            driver.restore_link("s", "a", 1.0, 1.0)
+            driver.run()
+        finally:
+            obs.stop()
+        return driver.message_stats(), transport.stats()
+
+    def test_same_seeds_same_trace_under_faults(self, diamond, tmp_path):
+        """(driver seed, transport seed) fully determines a faulty run:
+        equal stats and byte-identical traces modulo wall seconds."""
+        first = self._faulty_run(diamond, str(tmp_path / "a.jsonl"))
+        second = self._faulty_run(diamond, str(tmp_path / "b.jsonl"))
+        assert first == second
+        assert _trace_lines(tmp_path / "a.jsonl") == _trace_lines(
+            tmp_path / "b.jsonl"
+        )
+
+    def test_explicit_perfect_channel_matches_default(self, diamond):
+        """The refactor is invisible: the default transport and an
+        explicit PerfectChannel replay the historical behavior."""
+
+        def run(transport):
+            driver = ProtocolDriver(
+                diamond, MPDARouter, seed=3, transport=transport
+            )
+            driver.start(diamond.uniform_costs(1.0))
+            driver.run()
+            return driver.message_stats(), {
+                n: r.distances for n, r in driver.routers.items()
+            }
+
+        assert run(None) == run(PerfectChannel())
+
+    def test_faulty_runs_reach_the_same_converged_state(self, diamond):
+        """Theorem 2 across delivery models: the converged distances do
+        not depend on the wire, only the message counts do."""
+        outcomes = []
+        for transport in (
+            None,
+            ReliableTransport(FaultyChannel(seed=2, loss=0.2, reorder=0.3)),
+        ):
+            driver = ProtocolDriver(
+                diamond, MPDARouter, seed=0, transport=transport
+            )
+            driver.start(diamond.uniform_costs(1.0))
+            driver.run()
+            driver.verify_converged()
+            outcomes.append(
+                {n: r.distances for n, r in driver.routers.items()}
+            )
+        assert outcomes[0] == outcomes[1]
 
 
 class TestCurrentCosts:

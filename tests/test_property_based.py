@@ -20,6 +20,7 @@ from repro.gallager.marginals import marginal_distances
 from repro.gallager.opt import optimize, shortest_path_phi
 from repro.graph.generators import random_connected
 from repro.graph.validation import is_loop_free
+from repro.testing.fuzz import check_case, generate_case
 
 
 def _random_traffic(topo, rng, n_flows=4, max_rate=300.0):
@@ -113,6 +114,21 @@ def test_allocation_table_property1_through_random_trajectory(seed, steps):
         validate_property1(phi, via.keys())
         if via:
             assert sum(phi.values()) == pytest.approx(1.0)
+
+
+@settings(deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_mpda_quiesces_under_fuzzed_fault_schedules(seed):
+    """Driver-level schedule property (the harness as a hypothesis
+    strategy): any generated topology + fault profile + event schedule,
+    run over the reliable transport, quiesces with Theorem 3 checked
+    after every delivery and the Dijkstra oracle satisfied at the end —
+    ``check_case`` returns the failure record, so clean is ``None``.
+
+    ``max_examples`` comes from the active hypothesis profile (see
+    ``conftest.py``): small for the dev default, larger under the CI
+    fuzz job's ``HYPOTHESIS_PROFILE=ci``."""
+    assert check_case(generate_case(seed)) is None
 
 
 @settings(max_examples=10, deadline=None)
