@@ -1,0 +1,310 @@
+"""Scale-trajectory benchmark: ``BENCH_scale.json``.
+
+The paper evaluates on CAIRN (27 nodes) and NET1 (10 nodes); the
+roadmap's open question is how far the implementation scales beyond
+that.  This benchmark measures the trajectory: the same
+cold-start → single-failure → restore workload, driven through the
+two-timescale controller on ISP-style topologies of growing size
+(CAIRN itself at n=27, then seeded Waxman graphs at 50/100/300 nodes),
+each run profiled for wall-clock, CPU, peak memory, protocol message
+counts and per-phase self time.
+
+Two kinds of numbers land in the artifact:
+
+- **deterministic counts** — protocol messages delivered, LSU totals,
+  phase call counts.  Fixed seed + fixed interleaving makes these
+  exactly reproducible, so :func:`compare_scale` gates on them exactly;
+- **resource readings** — wall/CPU seconds and peak RSS.  Machine-
+  dependent, so the gate only rejects order-of-magnitude drift
+  (configurable factor tolerances).
+
+``python -m repro scale-bench`` regenerates the artifact;
+``python -m repro bench-check`` reruns the workload and diffs it
+against the committed baseline (nonzero exit on regression — the CI
+perf gate).  Run sizes ascend so the peak-RSS reading of a small run is
+not polluted by a bigger earlier one (``ru_maxrss`` is a process-wide
+high-water mark).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Any
+
+from repro import obs
+from repro.bench.convergence import pick_failure_link
+from repro.fluid.flows import uniform_random_rates
+from repro.graph.generators import waxman
+from repro.graph.topologies import cairn
+from repro.graph.topology import Topology
+from repro.obs.profile import phase_profile, render_profile
+from repro.sim.control import QuasiStaticConfig, run
+from repro.sim.scenario import Scenario, cairn_scenario, with_failures
+from repro.units import mbps
+
+SCALE_SCHEMA = "repro.bench.scale/1"
+
+#: The benchmark trajectory: CAIRN, then Waxman ISP graphs.
+SCALE_SIZES = (27, 50, 100, 300)
+
+#: Workload shape: one Tl window of Ts epochs with an outage inside.
+#: Epochs land at t=0/2/4/6 — cold start at boot, failure applied at
+#: the t=2 epoch, restore at t=6, one long-timescale route update at
+#: the end.  That is one cold-start plus one full failure convergence
+#: per size, the protocol's expensive events, without paying for long
+#: steady-state stretches that measure nothing new.
+WORKLOAD = {
+    "tl": 8.0,
+    "ts": 2.0,
+    "duration": 8.0,
+    "outage": (2.0, 6.0),
+    "flows": 12,
+    "rate_low_mbps": 1.0,
+    "rate_high_mbps": 3.0,
+}
+
+
+def scale_topology(n: int, *, seed: int = 0) -> tuple[Topology, str]:
+    """The benchmark topology for ``n`` nodes and its generator tag."""
+    if n == 27:
+        return cairn(), "cairn"
+    return waxman(n, seed=seed), "waxman"
+
+
+def scale_scenario(n: int, *, seed: int = 0) -> tuple[Scenario, str]:
+    """The failure scenario for one trajectory point.
+
+    CAIRN keeps the paper's own flow set; generated graphs get
+    ``WORKLOAD["flows"]`` random distinct source/destination pairs with
+    rates in the paper's 1-3 Mb/s band.  The failed link is the first
+    (sorted) whose loss keeps the graph connected, with the outage
+    window from :data:`WORKLOAD`.
+    """
+    if n == 27:
+        base = cairn_scenario()
+        generator = "cairn"
+    else:
+        topo, generator = scale_topology(n, seed=seed)
+        rng = random.Random(seed)
+        nodes = list(topo.nodes)
+        pairs: set[tuple[Any, Any]] = set()
+        while len(pairs) < min(WORKLOAD["flows"], n * (n - 1)):
+            src, dst = rng.sample(nodes, 2)
+            pairs.add((src, dst))
+        traffic = uniform_random_rates(
+            sorted(pairs, key=repr),
+            mbps(WORKLOAD["rate_low_mbps"]),
+            mbps(WORKLOAD["rate_high_mbps"]),
+            seed=seed,
+        )
+        base = Scenario(f"scale-{topo.name}", topo, traffic)
+    failed = pick_failure_link(base.topo)
+    outage = tuple(WORKLOAD["outage"])
+    return with_failures(base, {failed: [outage]}), generator
+
+
+def scale_point(
+    n: int,
+    *,
+    seed: int = 0,
+    profile_memory: str = "rss",
+    top: int | None = 12,
+) -> dict[str, Any]:
+    """Run and profile one trajectory point; returns its JSON entry.
+
+    Opens its own profiling observation so phase timers, metrics and
+    the resource profiler all start from zero for this size.
+    """
+    scenario, generator = scale_scenario(n, seed=seed)
+    config = QuasiStaticConfig(
+        tl=WORKLOAD["tl"],
+        ts=WORKLOAD["ts"],
+        duration=WORKLOAD["duration"],
+        warmup=0.0,
+        mode="protocol",
+        damping=0.5,
+        seed=seed,
+    )
+    with obs.observe(profile=True, profile_memory=profile_memory) as ob:
+        result = run(scenario, config)
+        snapshot = ob.profiler.snapshot()
+        phases = phase_profile(ob)
+        report = render_profile(ob, top=top)
+        gauges = ob.metrics.snapshot()["gauges"]
+
+    def gauge(name: str) -> float | None:
+        series = gauges.get(name)
+        if not series:
+            return None
+        return series[""]["value"]
+
+    stats = result.protocol_stats
+    return {
+        "name": scenario.topo.name,
+        "generator": generator,
+        "n": n,
+        "nodes": scenario.topo.num_nodes,
+        "links": scenario.topo.num_links,
+        "seed": seed,
+        "messages": int(stats.get("delivered", 0)),
+        "lsu_sent": int(stats.get("lsu_sent", 0)),
+        "mtu_runs": int(stats.get("mtu_runs", 0)),
+        "wall_s": round(snapshot["wall_s"], 4),
+        "cpu_s": round(snapshot["cpu_s"], 4),
+        "memory_mode": snapshot["memory_mode"],
+        "rss_max_kb": snapshot["rss_max_kb"],
+        "py_heap_peak_kb": snapshot.get("py_heap_peak_kb"),
+        "deliveries_per_second": gauge("protocol.deliveries_per_second"),
+        "phases": {
+            name: {
+                "total_s": round(entry["total_s"], 4),
+                "self_s": round(entry["self_s"], 4),
+                "cpu_s": round(entry["cpu_s"], 4),
+                "calls": int(entry["calls"]),
+            }
+            for name, entry in phases.items()
+        },
+        "profile_report": report,
+    }
+
+
+def collect_scale(
+    *,
+    sizes: tuple[int, ...] = SCALE_SIZES,
+    seed: int = 0,
+    profile_memory: str = "rss",
+) -> dict[str, Any]:
+    """The full trajectory document (sizes ascending — see module doc)."""
+    entries = [
+        scale_point(n, seed=seed, profile_memory=profile_memory)
+        for n in sorted(sizes)
+    ]
+    return {
+        "schema": SCALE_SCHEMA,
+        "generated_by": "python -m repro scale-bench",
+        "workload": {
+            **{k: v for k, v in WORKLOAD.items()},
+            "outage": list(WORKLOAD["outage"]),
+            "seed": seed,
+        },
+        "entries": entries,
+    }
+
+
+def write_scale(path: str, document: dict[str, Any]) -> None:
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# the regression gate
+# ----------------------------------------------------------------------
+#: Deterministic count fields compared exactly.
+EXACT_FIELDS = ("nodes", "links", "messages", "lsu_sent", "mtu_runs")
+
+#: Resource fields compared within a factor; (field, default factor).
+FACTOR_FIELDS = {"wall_s": 5.0, "cpu_s": 5.0, "rss_max_kb": 3.0}
+
+
+def compare_scale(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    *,
+    factors: dict[str, float] | None = None,
+) -> list[str]:
+    """Regressions of ``fresh`` against ``baseline``; empty = pass.
+
+    Count fields must match exactly (they are deterministic given the
+    workload seed — a mismatch means behaviour changed, not the
+    machine).  Resource fields may grow up to ``factors[field]`` times
+    the recorded value (generous by default: the gate is for
+    order-of-magnitude regressions, machine noise is not a failure).
+    Missing sizes in ``fresh`` are ignored, so a CI subset run
+    (``--max-nodes``) checks only what it ran.
+    """
+    limits = dict(FACTOR_FIELDS)
+    limits.update(factors or {})
+    problems: list[str] = []
+    if baseline.get("schema") != fresh.get("schema"):
+        problems.append(
+            f"schema mismatch: baseline {baseline.get('schema')!r} "
+            f"vs fresh {fresh.get('schema')!r}"
+        )
+        return problems
+    recorded = {entry["n"]: entry for entry in baseline["entries"]}
+    for entry in fresh["entries"]:
+        n = entry["n"]
+        base = recorded.get(n)
+        if base is None:
+            problems.append(f"n={n}: no baseline entry to compare against")
+            continue
+        tag = f"n={n} ({entry['name']})"
+        for field in EXACT_FIELDS:
+            if entry.get(field) != base.get(field):
+                problems.append(
+                    f"{tag}: {field} changed: baseline {base.get(field)!r} "
+                    f"-> fresh {entry.get(field)!r} (deterministic count; "
+                    "regenerate BENCH_scale.json if intentional)"
+                )
+        for name, base_phase in base.get("phases", {}).items():
+            fresh_phase = entry.get("phases", {}).get(name)
+            if fresh_phase is None:
+                problems.append(f"{tag}: phase {name!r} disappeared")
+            elif fresh_phase["calls"] != base_phase["calls"]:
+                problems.append(
+                    f"{tag}: phase {name!r} call count changed: "
+                    f"{base_phase['calls']} -> {fresh_phase['calls']}"
+                )
+        for field, factor in limits.items():
+            base_value = base.get(field)
+            fresh_value = entry.get(field)
+            if not base_value or fresh_value is None:
+                continue
+            if fresh_value > base_value * factor:
+                problems.append(
+                    f"{tag}: {field} regressed more than {factor:g}x: "
+                    f"baseline {base_value:g} -> fresh {fresh_value:g}"
+                )
+    return problems
+
+
+def render_scale_table(document: dict[str, Any]) -> str:
+    """Plain-text trajectory table (also the EXPERIMENTS.md source)."""
+    header = (
+        "topology".ljust(14)
+        + "nodes".rjust(6)
+        + "links".rjust(7)
+        + "messages".rjust(10)
+        + "wall_s".rjust(9)
+        + "cpu_s".rjust(9)
+        + "peak MB".rjust(9)
+        + "msg/s".rjust(10)
+    )
+    lines = [
+        "scale trajectory (cold start + failure + restore, profiled)",
+        "=" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    for entry in document["entries"]:
+        rss = entry.get("rss_max_kb")
+        rate = entry.get("deliveries_per_second")
+        lines.append(
+            entry["name"].ljust(14)
+            + f"{entry['nodes']}".rjust(6)
+            + f"{entry['links']}".rjust(7)
+            + f"{entry['messages']}".rjust(10)
+            + f"{entry['wall_s']:.2f}".rjust(9)
+            + f"{entry['cpu_s']:.2f}".rjust(9)
+            + (f"{rss / 1024:.0f}" if rss else "-").rjust(9)
+            + (f"{rate:.0f}" if rate else "-").rjust(10)
+        )
+    lines.append("-" * len(header))
+    lines.append(
+        "(message counts are deterministic; wall/cpu/RSS are this "
+        "machine's — peak RSS is a process high-water mark, sizes run "
+        "ascending)"
+    )
+    return "\n".join(lines)

@@ -390,6 +390,131 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the rendered text report to this file",
     )
+
+    scale = sub.add_parser(
+        "scale-bench",
+        help=(
+            "profiled scale trajectory: cold start + failure + restore "
+            "on CAIRN and generated Waxman ISP graphs"
+        ),
+    )
+    scale.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_scale.json",
+        help="artifact path (default BENCH_scale.json)",
+    )
+    scale.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run only trajectory points with at most N nodes",
+    )
+    scale.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="workload + interleaving seed (default 0)",
+    )
+    scale.add_argument(
+        "--memory",
+        choices=["rss", "tracemalloc", "none"],
+        default="rss",
+        help=(
+            "memory instrument (default rss; tracemalloc is exact but "
+            "slows runs 2-4x, so its timings are not comparable)"
+        ),
+    )
+    scale.add_argument(
+        "--profile-out",
+        metavar="PATH",
+        default=None,
+        help="also write the per-size phase-profile reports to this file",
+    )
+
+    check = sub.add_parser(
+        "bench-check",
+        help=(
+            "rerun the scale workload and diff against the committed "
+            "BENCH_scale.json; nonzero exit on regression (the CI gate)"
+        ),
+    )
+    check.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default="BENCH_scale.json",
+        help="committed baseline to compare against",
+    )
+    check.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="check only trajectory points with at most N nodes",
+    )
+    check.add_argument(
+        "--wall-factor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail when wall_s exceeds X times the baseline (default 5)",
+    )
+    check.add_argument(
+        "--mem-factor",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail when peak RSS exceeds X times the baseline (default 3)",
+    )
+    check.add_argument(
+        "--fresh-out",
+        metavar="PATH",
+        default=None,
+        help="write the fresh (just-measured) document to this file",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help=(
+            "profile one scale workload: phases ranked by self time, "
+            "plus run-level wall/CPU/memory"
+        ),
+    )
+    profile.add_argument(
+        "--n",
+        type=int,
+        default=27,
+        metavar="N",
+        help="trajectory size to profile (default 27 = CAIRN)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="K",
+        help="show only the K hottest phases",
+    )
+    profile.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="workload + interleaving seed (default 0)",
+    )
+    profile.add_argument(
+        "--memory",
+        choices=["rss", "tracemalloc", "none"],
+        default="rss",
+        help="memory instrument (default rss)",
+    )
+    profile.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the profile report to this file",
+    )
     return parser
 
 
@@ -546,6 +671,106 @@ def _run_replay(args: argparse.Namespace) -> int:
     return 0 if result.reproduced else 1
 
 
+def _scale_sizes(max_nodes: int | None) -> tuple[int, ...]:
+    from repro.bench.scale import SCALE_SIZES
+
+    if max_nodes is None:
+        return SCALE_SIZES
+    sizes = tuple(n for n in SCALE_SIZES if n <= max_nodes)
+    if not sizes:
+        raise SystemExit(
+            f"--max-nodes {max_nodes} excludes every trajectory size "
+            f"{SCALE_SIZES}"
+        )
+    return sizes
+
+
+def _run_scale_bench(args: argparse.Namespace) -> int:
+    from repro.bench.scale import (
+        collect_scale,
+        render_scale_table,
+        write_scale,
+    )
+
+    document = collect_scale(
+        sizes=_scale_sizes(args.max_nodes),
+        seed=args.seed,
+        profile_memory=args.memory,
+    )
+    write_scale(args.out, document)
+    print(render_scale_table(document))
+    print(f"wrote {args.out}")
+    if args.profile_out:
+        with open(args.profile_out, "w") as fh:
+            for entry in document["entries"]:
+                fh.write(f"## {entry['name']} (n={entry['n']})\n")
+                fh.write(entry["profile_report"] + "\n\n")
+        print(f"wrote {args.profile_out}")
+    return 0
+
+
+def _run_bench_check(args: argparse.Namespace) -> int:
+    from repro.bench.scale import (
+        collect_scale,
+        compare_scale,
+        render_scale_table,
+        write_scale,
+    )
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    recorded = [entry["n"] for entry in baseline["entries"]]
+    sizes = tuple(
+        n
+        for n in recorded
+        if args.max_nodes is None or n <= args.max_nodes
+    )
+    if not sizes:
+        raise SystemExit(
+            f"--max-nodes {args.max_nodes} excludes every recorded size "
+            f"{recorded}"
+        )
+    fresh = collect_scale(sizes=sizes, seed=baseline["workload"]["seed"])
+    if args.fresh_out:
+        write_scale(args.fresh_out, fresh)
+    factors = {}
+    if args.wall_factor is not None:
+        factors["wall_s"] = factors["cpu_s"] = args.wall_factor
+    if args.mem_factor is not None:
+        factors["rss_max_kb"] = args.mem_factor
+    problems = compare_scale(baseline, fresh, factors=factors)
+    print(render_scale_table(fresh))
+    if problems:
+        print(f"\nbench-check: {len(problems)} regression(s) vs "
+              f"{args.baseline}:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"\nbench-check: OK ({len(sizes)} size(s) vs {args.baseline})")
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    from repro.bench.scale import scale_point
+
+    entry = scale_point(
+        args.n,
+        seed=args.seed,
+        profile_memory=args.memory,
+        top=args.top,
+    )
+    text = (
+        f"workload: {entry['name']} (n={entry['n']}, "
+        f"{entry['messages']} protocol messages)\n"
+        + entry["profile_report"]
+    )
+    print(text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+    return 0
+
+
 def _run_overhead(args: argparse.Namespace) -> int:
     reports = overhead_experiment(epochs=args.epochs, seed=args.seed)
     text = render_overhead_table(reports)
@@ -585,6 +810,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "report":
         return _run_report(args)
+
+    if args.command == "scale-bench":
+        return _run_scale_bench(args)
+
+    if args.command == "bench-check":
+        return _run_bench_check(args)
+
+    if args.command == "profile":
+        return _run_profile(args)
 
     return _run_experiments(args)
 

@@ -211,6 +211,10 @@ class ProtocolDriver:
 
     def _note_quiescent(self, ob, messages: int, wall_s: float) -> None:
         """Close one convergence window: final audit + trace events."""
+        if messages and wall_s > 0:
+            ob.metrics.gauge("protocol.deliveries_per_second").set(
+                messages / wall_s
+            )
         if ob.auditor is not None:
             # The quiescent state is always audited (regardless of the
             # sampling cadence) so every window gets a verdict.

@@ -110,6 +110,7 @@ class MPDARouter(PDARouter):
     # the Fig. 4 state machine
     # ------------------------------------------------------------------
     def _after_ntu(self, lsu_sender: NodeId | None) -> None:
+        self.route_version += 1
         changes: tuple = ()
         if self.state is RouterState.PASSIVE:
             # Step 2: update T and lower the feasible distances.
@@ -266,23 +267,45 @@ def check_safety(
         successors = {
             i: router.successors(j) for i, router in routers.items()
         }
-        check_lfi(j, feasible, reported, successors)
+        check_destination(j, feasible, reported, successors)
 
-        # Eq. (16) cross-check: FD_j^i <= (i's distance to j as held at
-        # every neighbor k).
-        for i, router in routers.items():
-            if i == j:
+
+def check_destination(
+    j: NodeId,
+    feasible: Mapping[NodeId, float],
+    reported: Mapping[NodeId, Mapping[NodeId, float]],
+    successors: Mapping[NodeId, set[NodeId]],
+) -> None:
+    """The per-destination body of :func:`check_safety`.
+
+    Takes the extracted state maps instead of live routers, so callers
+    that cache those maps (the incremental invariant auditor) can verify
+    a single destination without touching every router:
+
+    - ``feasible[i]``: :math:`FD^i_j` (no entry for ``i == j``);
+    - ``reported[i][k]``: :math:`D^i_{jk}` for each up neighbor ``k``;
+    - ``successors[i]``: :math:`S^i_j`.
+
+    Raises:
+        LFIViolation / LoopError: if the invariant is broken.
+    """
+    check_lfi(j, feasible, reported, successors)
+
+    # Eq. (16) cross-check: FD_j^i <= (i's distance to j as held at
+    # every neighbor k).  reported[i]'s keys are exactly i's up
+    # neighbors, so the neighbor walk needs no router access.
+    for i, fd in feasible.items():
+        if fd == INFINITY:
+            continue
+        for k in reported.get(i, ()):
+            peer_view = reported.get(k)
+            if peer_view is None:
                 continue
-            fd = feasible[i]
-            if fd == INFINITY:
+            held = peer_view.get(i)
+            if held is None:
                 continue
-            for k in router.up_neighbors():
-                peer = routers.get(k)
-                if peer is None or i not in peer.link_costs:
-                    continue
-                held = peer.neighbor_distance(i, j)
-                if fd > held + 1e-12:
-                    raise LoopError(
-                        f"router {i!r}: FD to {j!r} is {fd!r} but neighbor "
-                        f"{k!r} holds distance {held!r} (Eq. 16 violated)"
-                    )
+            if fd > held + 1e-12:
+                raise LoopError(
+                    f"router {i!r}: FD to {j!r} is {fd!r} but neighbor "
+                    f"{k!r} holds distance {held!r} (Eq. 16 violated)"
+                )

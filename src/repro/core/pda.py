@@ -24,10 +24,18 @@ driver (:mod:`repro.core.driver` or the packet simulator) delivers them.
 
 from __future__ import annotations
 
+import itertools
+
 from repro.core.linkstate import INFINITY, LSUMessage, TopologyTable
 from repro.exceptions import RoutingError
 from repro.graph.shortest_paths import dijkstra_tree
 from repro.graph.topology import NodeId
+
+#: Process-wide router identities.  ``id()`` would be ambiguous here:
+#: sequential experiments create and drop whole router populations, and
+#: a recycled address must not alias a stale entry in an auditor's
+#: incremental cache.
+_uid_counter = itertools.count(1)
 
 
 class PDARouter:
@@ -49,6 +57,12 @@ class PDARouter:
 
     def __init__(self, node_id: NodeId) -> None:
         self.node_id = node_id
+        #: Stable identity for observers' caches (see module comment).
+        self._uid = next(_uid_counter)
+        #: Bumped after every processed event; observers (the invariant
+        #: auditor) use it to tell which routers may have changed state
+        #: since they last looked.
+        self.route_version = 0
         self.main_table = TopologyTable()
         self.neighbor_tables: dict[NodeId, TopologyTable] = {}
         self.link_costs: dict[NodeId, float] = {}
@@ -123,6 +137,7 @@ class PDARouter:
 
     def _after_ntu(self, lsu_sender: NodeId | None) -> None:
         """The tail of procedure PDA: MTU, then flood any differences."""
+        self.route_version += 1
         changes = self._mtu()
         if changes:
             self._broadcast(changes)

@@ -112,3 +112,171 @@ def random_connected(
             topo.add_duplex_link(a, b, capacity=cap, prop_delay=delay)
             added += 1
     return topo
+
+
+# ----------------------------------------------------------------------
+# ISP-style generators (scale benchmarks)
+# ----------------------------------------------------------------------
+def _euclidean(p: tuple[float, float], q: tuple[float, float]) -> float:
+    return ((p[0] - q[0]) ** 2 + (p[1] - q[1]) ** 2) ** 0.5
+
+
+def _join_components(
+    topo: Topology,
+    points: dict[int, tuple[float, float]],
+    capacity: float,
+    prop_delay_per_unit: float,
+) -> None:
+    """Connect a possibly-disconnected graph by adding, for each extra
+    component, the shortest link joining it to the first one —
+    deterministic given the point set, and geographically plausible
+    (components merge where they are closest)."""
+    nodes = sorted(points)
+    component = {node: node for node in nodes}
+
+    def find(node: int) -> int:
+        root = node
+        while component[root] != root:
+            root = component[root]
+        while component[node] != root:
+            component[node], node = root, component[node]
+        return root
+
+    for link in topo.links():
+        ra, rb = find(link.head), find(link.tail)
+        if ra != rb:
+            component[max(ra, rb)] = min(ra, rb)
+    while True:
+        roots = sorted({find(node) for node in nodes})
+        if len(roots) == 1:
+            return
+        main = roots[0]
+        best = None
+        for node in nodes:
+            if find(node) != main:
+                continue
+            for other in nodes:
+                if find(other) == main:
+                    continue
+                d = _euclidean(points[node], points[other])
+                if best is None or d < best[0]:
+                    best = (d, node, other)
+        assert best is not None
+        d, node, other = best
+        topo.add_duplex_link(
+            node,
+            other,
+            capacity=capacity,
+            prop_delay=max(d * prop_delay_per_unit, 1e-6),
+        )
+        component[find(other)] = main
+
+
+def waxman(
+    n: int,
+    *,
+    seed: int = 0,
+    beta: float = 0.6,
+    target_degree: float = 3.5,
+    capacity: float = DEFAULT_CAPACITY,
+    prop_delay: float = DEFAULT_PROP_DELAY,
+) -> Topology:
+    """A Waxman random graph — the classic ISP-topology model.
+
+    ``n`` points are placed uniformly in the unit square and each pair
+    is linked with probability ``alpha * exp(-d / (beta * L))`` where
+    ``d`` is their distance and ``L`` the largest pairwise distance.
+    Rather than exposing the opaque ``alpha`` knob, the generator takes
+    a ``target_degree`` and derives ``alpha`` from the drawn point set
+    so the expected mean degree matches it at every size — without
+    this, a fixed ``alpha`` makes degree (and message complexity) grow
+    linearly with ``n``, which would confound scale benchmarks.
+
+    Propagation delays scale with Euclidean distance (normalized so the
+    *mean* link delay is ``prop_delay``), giving short regional links
+    and long cross-country ones like a real ISP map.  Disconnected
+    components — rare at sensible target degrees — are joined by their
+    geographically shortest bridging links, so the result is always
+    connected.
+    """
+    if n < 2:
+        raise TopologyError("waxman graph needs at least two nodes")
+    if not 0 < beta <= 1:
+        raise TopologyError(f"beta must be in (0, 1], got {beta!r}")
+    if target_degree <= 0:
+        raise TopologyError("target_degree must be positive")
+    rng = random.Random(seed)
+    points = {i: (rng.random(), rng.random()) for i in range(n)}
+    pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    dists = {pair: _euclidean(points[pair[0]], points[pair[1]]) for pair in pairs}
+    scale = max(dists.values())
+    weights = {
+        pair: pow(2.718281828459045, -d / (beta * scale))
+        for pair, d in dists.items()
+    }
+    mean_weight = sum(weights.values()) / len(pairs)
+    # E[degree] = (n-1) * alpha * mean_weight, solved for alpha.
+    alpha = min(target_degree / ((n - 1) * mean_weight), 1.0)
+
+    chosen = [pair for pair in pairs if rng.random() < alpha * weights[pair]]
+    mean_dist = (
+        sum(dists[pair] for pair in chosen) / len(chosen)
+        if chosen
+        else sum(dists.values()) / len(pairs)
+    )
+    delay_per_unit = prop_delay / mean_dist
+
+    topo = Topology(f"waxman{n}-{seed}")
+    for i in range(n):
+        topo.add_node(i)
+    for pair in chosen:
+        topo.add_duplex_link(
+            pair[0],
+            pair[1],
+            capacity=capacity,
+            prop_delay=max(dists[pair] * delay_per_unit, 1e-6),
+        )
+    _join_components(topo, points, capacity, delay_per_unit)
+    return topo
+
+
+def barabasi_albert(
+    n: int,
+    *,
+    m: int = 2,
+    seed: int = 0,
+    capacity: float = DEFAULT_CAPACITY,
+    prop_delay: float = DEFAULT_PROP_DELAY,
+) -> Topology:
+    """A Barabási–Albert preferential-attachment graph.
+
+    Starts from a star on ``m + 1`` nodes, then attaches each new node
+    to ``m`` distinct existing nodes with probability proportional to
+    their degree.  The power-law degree distribution this produces —
+    a few highly connected hubs, many leaves — is the other canonical
+    Internet-topology model, and stresses MPDA differently from Waxman:
+    hub routers carry most of the update fan-out.  Always connected by
+    construction.
+    """
+    if m < 1:
+        raise TopologyError("m must be at least 1")
+    if n < m + 1:
+        raise TopologyError(f"need at least m + 1 = {m + 1} nodes")
+    rng = random.Random(seed)
+    topo = Topology(f"ba{n}-m{m}-{seed}")
+    # One endpoint entry per link end; sampling from it is sampling
+    # proportionally to degree.
+    endpoints: list[int] = []
+    for leaf in range(1, m + 1):
+        topo.add_duplex_link(0, leaf, capacity=capacity, prop_delay=prop_delay)
+        endpoints += [0, leaf]
+    for node in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(endpoints))
+        for target in sorted(targets):
+            topo.add_duplex_link(
+                node, target, capacity=capacity, prop_delay=prop_delay
+            )
+            endpoints += [node, target]
+    return topo

@@ -17,6 +17,7 @@ import heapq
 import itertools
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro import obs
 from repro.exceptions import SimulationError
@@ -161,11 +162,22 @@ class Engine:
             self._run(until, max_events)
             return
         before = self.processed
+        depth_gauge = ob.metrics.gauge("netsim.engine.queue_depth")
+        # len(_heap) counts cancelled tombstones too — a cheap O(1)
+        # reading of how much calendar the heap actually holds, which
+        # is what memory and heap-op costs scale with.
+        depth_gauge.set(len(self._heap))
+        started = perf_counter()
         with ob.timers.phase("netsim.engine.run"):
             self._run(until, max_events)
-        ob.metrics.counter("netsim.engine.events").inc(
-            self.processed - before
-        )
+        elapsed = perf_counter() - started
+        depth_gauge.set(len(self._heap))
+        done = self.processed - before
+        ob.metrics.counter("netsim.engine.events").inc(done)
+        if done and elapsed > 0:
+            ob.metrics.gauge("netsim.engine.events_per_second").set(
+                done / elapsed
+            )
 
     def _run(
         self, until: float | None = None, max_events: int | None = None

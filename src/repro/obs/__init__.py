@@ -50,6 +50,7 @@ from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.audit import InvariantAuditor
+    from repro.obs.profile import ResourceProfiler
 
 __all__ = [
     "Observation",
@@ -83,6 +84,10 @@ class Observation:
         auditor: an :class:`~repro.obs.audit.InvariantAuditor`; when set,
             protocol drivers feed it every router event so LFI and
             successor-graph acyclicity are verified online.
+        profiler: a :class:`~repro.obs.profile.ResourceProfiler`; when
+            set (``obs.start(profile=True)`` sets it together with
+            profiling-grade timers), run-level wall/CPU/memory readings
+            are captured and exported next to the phase timings.
 
     The mutable :attr:`sim_time` is the bridge between the simulators'
     clocks and clock-less components: runners set it each epoch/tick and
@@ -98,12 +103,14 @@ class Observation:
         timers: PhaseTimers | None = None,
         protocol_control_plane: bool = True,
         auditor: "InvariantAuditor | None" = None,
+        profiler: "ResourceProfiler | None" = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.timers = timers if timers is not None else PhaseTimers()
         self.protocol_control_plane = protocol_control_plane
         self.auditor = auditor
+        self.profiler = profiler
         #: Simulated time of the innermost running simulator, or None
         #: outside any simulation clock.
         self.sim_time: float | None = None
@@ -113,6 +120,8 @@ class Observation:
         return export.snapshot(self)
 
     def close(self) -> None:
+        if self.profiler is not None:
+            self.profiler.close()
         self.tracer.close()
 
 
@@ -131,6 +140,8 @@ def start(
     protocol_control_plane: bool = True,
     audit: bool = False,
     audit_sample: int = 1,
+    profile: bool = False,
+    profile_memory: str = "rss",
 ) -> Observation:
     """Begin an observation session and make it current.
 
@@ -140,6 +151,11 @@ def start(
     ``audit=True`` attaches an online
     :class:`~repro.obs.audit.InvariantAuditor` verifying the LFI
     invariants every ``audit_sample``-th protocol event.
+
+    ``profile=True`` swaps in :class:`~repro.obs.timing.ProfilingTimers`
+    (CPU + self time per phase) and attaches a started
+    :class:`~repro.obs.profile.ResourceProfiler`; ``profile_memory``
+    selects its memory instrument ("rss", "tracemalloc" or "none").
     """
     global _current
     tracer = Tracer.to_path(trace_path) if trace_path else NULL_TRACER
@@ -150,10 +166,20 @@ def start(
         from repro.obs.audit import InvariantAuditor
 
         auditor = InvariantAuditor(sample_every=audit_sample)
+    timers = None
+    profiler = None
+    if profile:
+        from repro.obs.profile import ResourceProfiler
+        from repro.obs.timing import ProfilingTimers
+
+        timers = ProfilingTimers()
+        profiler = ResourceProfiler(memory=profile_memory).start()
     _current = Observation(
         tracer=tracer,
+        timers=timers,
         protocol_control_plane=protocol_control_plane,
         auditor=auditor,
+        profiler=profiler,
     )
     return _current
 
@@ -173,6 +199,8 @@ def observe(
     protocol_control_plane: bool = True,
     audit: bool = False,
     audit_sample: int = 1,
+    profile: bool = False,
+    profile_memory: str = "rss",
 ) -> Iterator[Observation]:
     """Context manager form of :func:`start` / :func:`stop`."""
     global _current
@@ -182,6 +210,8 @@ def observe(
         protocol_control_plane=protocol_control_plane,
         audit=audit,
         audit_sample=audit_sample,
+        profile=profile,
+        profile_memory=profile_memory,
     )
     try:
         yield ob

@@ -23,6 +23,18 @@ observed run:
 Unlike ``check_invariants`` (which raises and kills the run on the
 first violation), the auditor records and continues: an observability
 instrument must never change the run it is observing.
+
+Sampled checks are **incremental**: each per-destination verification is
+a pure function of per-router state rows (feasible distance, reported
+neighbor distances, successor set), and one protocol event only mutates
+the one router that processed it.  The auditor therefore caches the rows
+between samples, uses the routers' ``route_version`` counters to find
+which routers may have changed, rebuilds only their rows, and re-checks
+only the destinations whose rows actually differ — everything else keeps
+its cached verdict.  Quiescent audits (:meth:`audit` with
+``context="quiescent"``) always discard the cache and verify everything
+from scratch, so every convergence window ends with a ground-truth
+check.
 """
 
 from __future__ import annotations
@@ -32,12 +44,67 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
 from repro.core.lfi import LFIViolation
-from repro.core.mpda import MPDARouter, check_safety
+from repro.core.linkstate import INFINITY
+from repro.core.mpda import MPDARouter, check_destination
 from repro.exceptions import LoopError
 from repro.graph.topology import NodeId
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs import Observation
+
+_AUDIT_ERRORS = (LFIViolation, LoopError)
+
+
+class _SafetyCache:
+    """Per-destination state rows carried between sampled checks.
+
+    ``feasible[j][i]`` / ``reported[j][i]`` / ``successors[j][i]`` are
+    the :func:`~repro.core.mpda.check_destination` inputs; ``versions``
+    maps router ``_uid`` to the ``route_version`` the rows were built
+    from; ``contributed[uid]`` is the destination set the router's
+    successor sets contributed (so destinations disappear from the audit
+    exactly when the last router drops them); ``violating`` keeps the
+    verdicts of broken destinations so a quiet (all-clean-diff) sample
+    still reports a persisting violation.
+    """
+
+    __slots__ = (
+        "versions",
+        "feasible",
+        "reported",
+        "successors",
+        "contributed",
+        "dest_refs",
+        "violating",
+    )
+
+    def __init__(self) -> None:
+        self.versions: dict[int, int] = {}
+        self.feasible: dict[NodeId, dict[NodeId, float]] = {}
+        self.reported: dict[NodeId, dict[NodeId, dict[NodeId, float]]] = {}
+        self.successors: dict[NodeId, dict[NodeId, set[NodeId]]] = {}
+        self.contributed: dict[int, set[NodeId]] = {}
+        self.dest_refs: dict[NodeId, int] = {}
+        self.violating: dict[NodeId, Exception] = {}
+
+
+def _rows(
+    router: MPDARouter, j: NodeId
+) -> tuple[float | None, dict[NodeId, float], set[NodeId]]:
+    """Router ``i``'s state rows for destination ``j``.
+
+    The feasible entry is None for ``i == j`` (check_safety builds the
+    feasible map without the destination itself).
+    """
+    feasible = (
+        None
+        if router.node_id == j
+        else router.feasible_distance.get(j, INFINITY)
+    )
+    reported = {
+        k: router.neighbor_distance(k, j) for k in router.link_costs
+    }
+    return feasible, reported, router.successors(j)
 
 
 class InvariantAuditor:
@@ -62,6 +129,7 @@ class InvariantAuditor:
         self.checks = 0
         self.violations = 0
         self.last_error: str | None = None
+        self._cache: _SafetyCache | None = None
 
     # ------------------------------------------------------------------
     # driver hooks
@@ -78,7 +146,13 @@ class InvariantAuditor:
         self.events_seen += 1
         if self.events_seen % self.sample_every:
             return
-        self.audit(routers, observation, context=context, delivered=delivered)
+        self.audit(
+            routers,
+            observation,
+            context=context,
+            delivered=delivered,
+            incremental=True,
+        )
 
     def audit(
         self,
@@ -87,11 +161,17 @@ class InvariantAuditor:
         *,
         context: str = "",
         delivered: int = 0,
+        incremental: bool = False,
     ) -> bool:
         """Verify the LFI invariants now; True when the state is clean.
 
         Violations are recorded (metrics + trace) and swallowed — the
         auditor observes the run, it does not abort it.
+
+        ``incremental=True`` (what :meth:`on_event` passes) permits the
+        cached-row shortcut.  Direct calls default to a full rebuild:
+        they are ground truth, valid even against state mutated behind
+        the protocol's back (where no ``route_version`` ticked).
         """
         mpda = {
             node: router
@@ -108,8 +188,16 @@ class InvariantAuditor:
         metrics.counter("lfi_audit.violations")
         started = perf_counter()
         try:
-            check_safety(mpda)
-        except (LFIViolation, LoopError) as error:
+            if incremental and self._cache_matches(mpda):
+                error = self._incremental_check(mpda, metrics)
+            else:
+                # Ground truth: rebuild everything and check everything.
+                error = self._full_check(mpda)
+        finally:
+            metrics.histogram("lfi_audit.check_seconds").observe(
+                perf_counter() - started
+            )
+        if error is not None:
             self.violations += 1
             self.last_error = str(error)
             metrics.counter("lfi_audit.violations").inc()
@@ -121,11 +209,173 @@ class InvariantAuditor:
                     delivered=delivered,
                 )
             return False
-        finally:
-            metrics.histogram("lfi_audit.check_seconds").observe(
-                perf_counter() - started
-            )
         return True
+
+    # ------------------------------------------------------------------
+    # incremental verification
+    # ------------------------------------------------------------------
+    def _cache_matches(self, mpda: Mapping[NodeId, MPDARouter]) -> bool:
+        """True when the cache describes exactly this router population."""
+        cache = self._cache
+        if cache is None or len(cache.versions) != len(mpda):
+            return False
+        versions = cache.versions
+        return all(r._uid in versions for r in mpda.values())
+
+    def _full_check(
+        self, mpda: Mapping[NodeId, MPDARouter]
+    ) -> Exception | None:
+        """Rebuild the cache from scratch, checking every destination."""
+        cache = _SafetyCache()
+        destinations: set[NodeId] = set()
+        for router in mpda.values():
+            contributed = set(router.successor_sets)
+            cache.versions[router._uid] = router.route_version
+            cache.contributed[router._uid] = contributed
+            destinations.update(contributed)
+            for j in contributed:
+                cache.dest_refs[j] = cache.dest_refs.get(j, 0) + 1
+        for j in destinations:
+            feasible: dict[NodeId, float] = {}
+            reported: dict[NodeId, dict[NodeId, float]] = {}
+            successors: dict[NodeId, set[NodeId]] = {}
+            for i, router in mpda.items():
+                fd, rep, succ = _rows(router, j)
+                if fd is not None:
+                    feasible[i] = fd
+                reported[i] = rep
+                successors[i] = succ
+            cache.feasible[j] = feasible
+            cache.reported[j] = reported
+            cache.successors[j] = successors
+        self._cache = cache
+        return self._check_destinations(cache, destinations)
+
+    def _incremental_check(
+        self, mpda: Mapping[NodeId, MPDARouter], metrics
+    ) -> Exception | None:
+        """Refresh only changed routers' rows; re-check changed rows.
+
+        Correctness rests on two facts: a per-destination check is a
+        pure function of the row maps (see
+        :func:`~repro.core.mpda.check_destination`), and each row is a
+        pure function of one router's state, guarded by its
+        ``route_version``.  A destination none of whose rows changed
+        therefore keeps its previous verdict.
+        """
+        cache = self._cache
+        assert cache is not None
+        dirty = [
+            (i, router)
+            for i, router in mpda.items()
+            if cache.versions[router._uid] != router.route_version
+        ]
+        if not dirty:
+            metrics.counter("lfi_audit.incremental_skips").inc()
+            return self._cached_verdict(cache)
+
+        affected: set[NodeId] = set()
+        fresh: set[NodeId] = set()
+        for i, router in dirty:
+            uid = router._uid
+            cache.versions[uid] = router.route_version
+            contributed = set(router.successor_sets)
+            previous = cache.contributed[uid]
+            for j in contributed - previous:
+                refs = cache.dest_refs.get(j, 0)
+                cache.dest_refs[j] = refs + 1
+                if refs == 0:
+                    fresh.add(j)
+            for j in previous - contributed:
+                refs = cache.dest_refs[j] - 1
+                if refs:
+                    cache.dest_refs[j] = refs
+                else:
+                    del cache.dest_refs[j]
+                    cache.feasible.pop(j, None)
+                    cache.reported.pop(j, None)
+                    cache.successors.pop(j, None)
+                    cache.violating.pop(j, None)
+                    fresh.discard(j)
+            cache.contributed[uid] = contributed
+
+        # A destination just contributed for the first time needs rows
+        # from every router; existing destinations only from the dirty.
+        for j in fresh:
+            feasible: dict[NodeId, float] = {}
+            reported: dict[NodeId, dict[NodeId, float]] = {}
+            successors: dict[NodeId, set[NodeId]] = {}
+            for i, router in mpda.items():
+                fd, rep, succ = _rows(router, j)
+                if fd is not None:
+                    feasible[i] = fd
+                reported[i] = rep
+                successors[i] = succ
+            cache.feasible[j] = feasible
+            cache.reported[j] = reported
+            cache.successors[j] = successors
+            affected.add(j)
+
+        for j in cache.dest_refs:
+            if j in fresh:
+                continue
+            feasible = cache.feasible[j]
+            reported = cache.reported[j]
+            successors = cache.successors[j]
+            for i, router in dirty:
+                fd, rep, succ = _rows(router, j)
+                if (
+                    feasible.get(i) != fd
+                    or reported[i] != rep
+                    or successors[i] != succ
+                ):
+                    if fd is None:
+                        feasible.pop(i, None)
+                    else:
+                        feasible[i] = fd
+                    reported[i] = rep
+                    successors[i] = succ
+                    affected.add(j)
+
+        metrics.counter("lfi_audit.destinations_checked").inc(len(affected))
+        # Re-check what changed, plus anything still marked broken (its
+        # verdict must be refreshed even if today's diff missed it).
+        error = self._check_destinations(
+            cache, affected | set(cache.violating)
+        )
+        if error is not None:
+            return error
+        return self._cached_verdict(cache)
+
+    def _check_destinations(
+        self, cache: _SafetyCache, destinations: set[NodeId]
+    ) -> Exception | None:
+        """Verify ``destinations`` against the cached rows; returns the
+        first violation (in deterministic destination order)."""
+        first: Exception | None = None
+        for j in sorted(destinations, key=repr):
+            try:
+                check_destination(
+                    j,
+                    cache.feasible[j],
+                    cache.reported[j],
+                    cache.successors[j],
+                )
+            except _AUDIT_ERRORS as violation:
+                cache.violating[j] = violation
+                if first is None:
+                    first = violation
+            else:
+                cache.violating.pop(j, None)
+        return first
+
+    @staticmethod
+    def _cached_verdict(cache: _SafetyCache) -> Exception | None:
+        """A persisting violation from an earlier sample, if any."""
+        if not cache.violating:
+            return None
+        j = min(cache.violating, key=repr)
+        return cache.violating[j]
 
     # ------------------------------------------------------------------
     # reporting

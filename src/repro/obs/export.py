@@ -21,11 +21,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 def snapshot(observation: "Observation") -> dict[str, Any]:
-    """The full JSON-ready state of an observation."""
-    return {
+    """The full JSON-ready state of an observation.
+
+    A profiling session (``obs.start(profile=True)``) adds a third
+    section, ``"profile"``, with the run-level wall/CPU/memory readings
+    of the attached :class:`~repro.obs.profile.ResourceProfiler`; the
+    per-phase ``cpu_s`` / ``self_s`` extras ride along inside
+    ``"timings"``.
+    """
+    out = {
         "metrics": observation.metrics.snapshot(),
         "timings": observation.timers.as_dict(),
     }
+    profiler = getattr(observation, "profiler", None)
+    if profiler is not None:
+        out["profile"] = profiler.snapshot()
+    return out
 
 
 def write_metrics(path: str, observation: "Observation") -> None:

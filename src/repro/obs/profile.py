@@ -1,0 +1,214 @@
+"""Resource profiling: where a run's time and memory actually go.
+
+The PR 1 phase timers answer "how long did phase X take"; this module
+turns them into a full resource profile:
+
+- :class:`ResourceProfiler` brackets a run with wall-clock, CPU-time
+  and memory readings.  Memory comes from two complementary sources:
+
+  * ``rss`` (the default): the process peak resident set
+    (``getrusage.ru_maxrss``) plus the current ``VmRSS`` — free to
+    read, so timings stay honest.  ``ru_maxrss`` is a process-lifetime
+    high-water mark: within one process it only ever rises, so run
+    workloads smallest-first when comparing stages.
+  * ``tracemalloc``: exact Python-heap peaks per profiled region
+    (``reset_peak`` at start).  Allocation tracking slows runs ~2-4x,
+    so it is opt-in and the profile marks which mode produced it.
+
+- :func:`render_profile` ranks phases by **self time** (wall time minus
+  time spent in enclosed phases, measured by
+  :class:`~repro.obs.timing.ProfilingTimers`) — the order in which
+  optimization work should be spent.
+
+Enable both through the observation session::
+
+    with obs.observe(profile=True) as ob:
+        run(scenario, config)
+    print(profile.render_profile(ob, top=10))
+
+The disabled path is untouched: profiling swaps in different *classes*
+rather than adding branches to the default timers, so a run without
+``profile=True`` pays exactly what it paid before this module existed.
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from time import perf_counter, process_time
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.timing import PhaseStats, ProfilingTimers
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs import Observation
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+MEMORY_MODES = ("rss", "tracemalloc", "none")
+
+
+def _rss_max_kb() -> float | None:
+    """Process peak RSS in KiB, or None where getrusage is unavailable."""
+    if resource is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss in bytes
+        return peak / 1024.0
+    return float(peak)
+
+
+def _rss_now_kb() -> float | None:
+    """Current resident set in KiB (Linux /proc), or None elsewhere."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1])
+    except OSError:  # pragma: no cover - non-Linux platforms
+        pass
+    return None
+
+
+class ResourceProfiler:
+    """Wall/CPU/memory readings around a profiled region.
+
+    One profiler can bracket several consecutive regions (the scale
+    bench profiles one topology size per region); :meth:`start` begins
+    a region and :meth:`snapshot` reads it out.
+
+    Args:
+        memory: "rss" (free, process-granularity peaks), "tracemalloc"
+            (exact Python-heap peaks, 2-4x slowdown) or "none".
+    """
+
+    def __init__(self, memory: str = "rss") -> None:
+        if memory not in MEMORY_MODES:
+            raise ValueError(
+                f"memory mode must be one of {MEMORY_MODES}, got {memory!r}"
+            )
+        self.memory = memory
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+        self._started = False
+        self._owns_tracemalloc = False
+
+    def start(self) -> "ResourceProfiler":
+        """Begin (or restart) a profiled region."""
+        if self.memory == "tracemalloc":
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._owns_tracemalloc = True
+            tracemalloc.reset_peak()
+        self._started = True
+        self._cpu0 = process_time()
+        self._wall0 = perf_counter()
+        return self
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready readings of the current region so far."""
+        if not self._started:
+            raise RuntimeError("profiler was never started")
+        out: dict[str, Any] = {
+            "wall_s": perf_counter() - self._wall0,
+            "cpu_s": process_time() - self._cpu0,
+            "memory_mode": self.memory,
+            "rss_max_kb": _rss_max_kb(),
+            "rss_now_kb": _rss_now_kb(),
+        }
+        if self.memory == "tracemalloc" and tracemalloc.is_tracing():
+            current, peak = tracemalloc.get_traced_memory()
+            out["py_heap_kb"] = current / 1024.0
+            out["py_heap_peak_kb"] = peak / 1024.0
+        return out
+
+    def close(self) -> None:
+        """Stop tracemalloc if this profiler started it."""
+        if self._owns_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._owns_tracemalloc = False
+
+
+def phase_profile(observation: "Observation") -> dict[str, dict[str, float]]:
+    """Per-phase stats augmented with self time, ranked by it.
+
+    Works with either timer class: plain :class:`PhaseStats` has no
+    child attribution, so its self time equals its total — correct for
+    leaf phases, an over-estimate for enclosing ones (the profiling
+    timers fix exactly that).
+    """
+    phases: dict[str, dict[str, float]] = {}
+    for name, stats in observation.timers.as_dict().items():
+        entry = dict(stats)
+        entry.setdefault("cpu_s", 0.0)
+        entry.setdefault("self_s", stats["total_s"])
+        phases[name] = entry
+    return dict(
+        sorted(phases.items(), key=lambda kv: -kv[1]["self_s"])
+    )
+
+
+def render_profile(
+    observation: "Observation", *, top: int | None = None
+) -> str:
+    """The profile report: phases ranked by self time, hottest first."""
+    phases = phase_profile(observation)
+    if top is not None:
+        phases = dict(list(phases.items())[:top])
+    if not phases:
+        return "profile\n(no phases recorded)"
+    name_width = max(28, max(len(name) for name in phases) + 2)
+    header = (
+        "phase".ljust(name_width)
+        + "self_s".rjust(9)
+        + "total_s".rjust(10)
+        + "cpu_s".rjust(9)
+        + "calls".rjust(8)
+        + "mean_ms".rjust(10)
+    )
+    lines = [
+        "profile (ranked by self time = total minus enclosed phases)",
+        "=" * len(header),
+        header,
+        "-" * len(header),
+    ]
+    total_self = sum(entry["self_s"] for entry in phases.values())
+    for name, entry in phases.items():
+        lines.append(
+            name.ljust(name_width)
+            + f"{entry['self_s']:.3f}".rjust(9)
+            + f"{entry['total_s']:.3f}".rjust(10)
+            + f"{entry['cpu_s']:.3f}".rjust(9)
+            + f"{entry['calls']:d}".rjust(8)
+            + f"{1e3 * entry['mean_s']:.3f}".rjust(10)
+        )
+    lines.append("-" * len(header))
+    lines.append(f"accounted self time: {total_self:.3f}s")
+    profiler = getattr(observation, "profiler", None)
+    if profiler is not None and profiler._started:
+        snap = profiler.snapshot()
+        mem = snap.get("rss_max_kb")
+        mem_note = (
+            f", peak RSS {mem / 1024.0:.1f} MB" if mem is not None else ""
+        )
+        heap = snap.get("py_heap_peak_kb")
+        if heap is not None:
+            mem_note += f", py-heap peak {heap / 1024.0:.1f} MB"
+        lines.append(
+            f"run: wall {snap['wall_s']:.3f}s, cpu {snap['cpu_s']:.3f}s"
+            + mem_note
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "MEMORY_MODES",
+    "PhaseStats",
+    "ProfilingTimers",
+    "ResourceProfiler",
+    "phase_profile",
+    "render_profile",
+]

@@ -10,11 +10,22 @@ The :func:`phase` module helper makes call sites observation-agnostic —
 it returns a shared no-op context manager when no observation is
 active, so the disabled path costs one ``None`` check per phase entry
 (phases wrap epoch- and run-granularity work, never per-event work).
+
+:class:`ProfilingTimers` is the drop-in profiling variant
+(``obs.start(profile=True)`` installs it): the same ``phase`` contract,
+but each phase additionally records CPU time (``process_time``) and
+tracks the stack of open phases so *self* time — total minus the time
+spent in enclosed phases — can be reported.  Self time is what makes a
+profile actionable: ``routing.update_routes`` encloses
+``protocol.driver.run``, and only the difference is the route
+computation itself.  The profiling machinery lives in its own classes
+so the default timers (and the disabled path) stay exactly as cheap as
+before.
 """
 
 from __future__ import annotations
 
-from time import perf_counter
+from time import perf_counter, process_time
 
 
 class PhaseStats:
@@ -102,3 +113,87 @@ def phase(observation: object | None, name: str):
     if observation is None:
         return NULL_PHASE
     return observation.timers.phase(name)
+
+
+# ----------------------------------------------------------------------
+# profiling variant
+# ----------------------------------------------------------------------
+class ProfilePhaseStats(PhaseStats):
+    """Phase statistics plus CPU time and enclosed-phase (child) time.
+
+    ``self_s`` (total minus child wall time) is the ranking key of the
+    profile report.  For re-entrant phases (a phase nested inside
+    itself) the outer entry's total already includes the inner one, so
+    ``self_s`` attributes the overlap to the child — totals stay
+    monotone and self times never go negative.
+    """
+
+    __slots__ = ("cpu_s", "child_s")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.cpu_s = 0.0
+        self.child_s = 0.0
+
+    @property
+    def self_s(self) -> float:
+        return max(self.total_s - self.child_s, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        out = super().as_dict()
+        out["cpu_s"] = self.cpu_s
+        out["self_s"] = self.self_s
+        return out
+
+
+class _ProfilePhaseContext:
+    """A timed ``with`` block that also feeds the profiling extras."""
+
+    __slots__ = ("_timers", "_stats", "_wall0", "_cpu0")
+
+    def __init__(self, timers: "ProfilingTimers", stats: ProfilePhaseStats) -> None:
+        self._timers = timers
+        self._stats = stats
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "_ProfilePhaseContext":
+        self._timers._stack.append(self._stats)
+        self._cpu0 = process_time()
+        self._wall0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = perf_counter() - self._wall0
+        cpu = process_time() - self._cpu0
+        stats = self._stats
+        stats.add(elapsed)
+        stats.cpu_s += cpu
+        stack = self._timers._stack
+        stack.pop()
+        if stack:
+            # Attribute this phase's wall time to the enclosing phase's
+            # child bucket, so the parent's self time excludes it.
+            stack[-1].child_s += elapsed
+
+
+class ProfilingTimers(PhaseTimers):
+    """Phase timers that additionally profile CPU and self time.
+
+    Same interface as :class:`PhaseTimers`; instrumented call sites
+    cannot tell the difference.  Phase entry/exit is a little more
+    expensive (one extra clock read and a stack push/pop), which is why
+    this is opt-in (``obs.start(profile=True)``) rather than the
+    default.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Innermost-last stack of currently open phases.
+        self._stack: list[ProfilePhaseStats] = []
+
+    def phase(self, name: str) -> _ProfilePhaseContext:
+        stats = self._phases.get(name)
+        if stats is None:
+            stats = self._phases[name] = ProfilePhaseStats()
+        return _ProfilePhaseContext(self, stats)

@@ -491,11 +491,15 @@ class TwoTimescaleController:
                         * long_costs.get(link_id, measured[link_id])
                         for link_id in measured
                     }
-                routing.update_routes(_without(long_costs, links_down))
+                with obs.phase(ob, "control.tl_update"):
+                    routing.update_routes(_without(long_costs, links_down))
                 window_costs = {}
                 window_epochs = 0
             else:
-                routing.adjust_allocation(_without(short_costs, links_down))
+                with obs.phase(ob, "control.ts_adjust"):
+                    routing.adjust_allocation(
+                        _without(short_costs, links_down)
+                    )
 
         result.protocol_stats = routing.protocol_stats()
         if ob is not None:

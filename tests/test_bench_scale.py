@@ -1,0 +1,193 @@
+"""The scale-trajectory benchmark and its regression gate."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.bench.scale import (
+    SCALE_SCHEMA,
+    SCALE_SIZES,
+    compare_scale,
+    render_scale_table,
+    scale_point,
+    scale_scenario,
+    write_scale,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def cairn_entry():
+    """One real (fast) trajectory point, shared across this module."""
+    return scale_point(27)
+
+
+class TestScalePoint:
+    def test_entry_shape(self, cairn_entry):
+        entry = cairn_entry
+        assert entry["n"] == 27
+        assert entry["generator"] == "cairn"
+        assert entry["nodes"] == 27
+        assert entry["messages"] > 0
+        assert entry["wall_s"] > 0
+        assert entry["cpu_s"] > 0
+        assert entry["rss_max_kb"] > 0
+        assert entry["deliveries_per_second"] > 0
+        assert "protocol.driver.run" in entry["phases"]
+        driver_phase = entry["phases"]["protocol.driver.run"]
+        assert driver_phase["calls"] == 4  # boot + fail + restore + Tl
+        assert set(driver_phase) == {"total_s", "self_s", "cpu_s", "calls"}
+        assert "self time" in entry["profile_report"]
+
+    def test_message_counts_deterministic(self, cairn_entry):
+        again = scale_point(27)
+        assert again["messages"] == cairn_entry["messages"]
+        assert again["lsu_sent"] == cairn_entry["lsu_sent"]
+        assert again["mtu_runs"] == cairn_entry["mtu_runs"]
+        assert {k: v["calls"] for k, v in again["phases"].items()} == {
+            k: v["calls"] for k, v in cairn_entry["phases"].items()
+        }
+
+    def test_self_time_never_exceeds_total(self, cairn_entry):
+        for name, phase in cairn_entry["phases"].items():
+            assert phase["self_s"] <= phase["total_s"] + 1e-9, name
+
+    def test_generated_scenario_is_reproducible(self):
+        a, gen_a = scale_scenario(50)
+        b, gen_b = scale_scenario(50)
+        assert gen_a == gen_b == "waxman"
+        assert a.topo.num_links == b.topo.num_links
+        assert [f.label() for f in a.traffic.flows] == [
+            f.label() for f in b.traffic.flows
+        ]
+        assert a.links_down_at(3.0) != frozenset()
+        assert a.links_down_at(7.0) == frozenset()
+
+
+def _fake_doc():
+    """A minimal two-size document for pure compare_scale tests."""
+    entry = {
+        "name": "cairn",
+        "generator": "cairn",
+        "n": 27,
+        "nodes": 27,
+        "links": 74,
+        "seed": 0,
+        "messages": 1922,
+        "lsu_sent": 961,
+        "mtu_runs": 500,
+        "wall_s": 0.2,
+        "cpu_s": 0.2,
+        "rss_max_kb": 17000.0,
+        "phases": {
+            "protocol.driver.run": {
+                "total_s": 0.19,
+                "self_s": 0.19,
+                "cpu_s": 0.18,
+                "calls": 4,
+            }
+        },
+    }
+    big = dict(entry, name="waxman50-0", n=50, nodes=50, links=246)
+    return {
+        "schema": SCALE_SCHEMA,
+        "workload": {"seed": 0},
+        "entries": [entry, copy.deepcopy(big)],
+    }
+
+
+class TestCompareScale:
+    def test_identical_documents_pass(self):
+        doc = _fake_doc()
+        assert compare_scale(doc, copy.deepcopy(doc)) == []
+
+    def test_wall_clock_regression_fails(self):
+        baseline, fresh = _fake_doc(), _fake_doc()
+        fresh["entries"][0]["wall_s"] = baseline["entries"][0]["wall_s"] * 10
+        problems = compare_scale(baseline, fresh)
+        assert len(problems) == 1
+        assert "wall_s regressed" in problems[0]
+
+    def test_wall_clock_noise_within_factor_passes(self):
+        baseline, fresh = _fake_doc(), _fake_doc()
+        fresh["entries"][0]["wall_s"] = baseline["entries"][0]["wall_s"] * 3
+        assert compare_scale(baseline, fresh) == []
+
+    def test_message_count_change_fails_exactly(self):
+        baseline, fresh = _fake_doc(), _fake_doc()
+        fresh["entries"][0]["messages"] += 1
+        problems = compare_scale(baseline, fresh)
+        assert any("messages changed" in p for p in problems)
+
+    def test_phase_call_count_change_fails(self):
+        baseline, fresh = _fake_doc(), _fake_doc()
+        fresh["entries"][0]["phases"]["protocol.driver.run"]["calls"] = 5
+        problems = compare_scale(baseline, fresh)
+        assert any("call count changed" in p for p in problems)
+
+    def test_subset_fresh_document_checks_only_what_ran(self):
+        baseline, fresh = _fake_doc(), _fake_doc()
+        fresh["entries"] = fresh["entries"][:1]  # CI --max-nodes subset
+        assert compare_scale(baseline, fresh) == []
+
+    def test_unknown_size_in_fresh_is_flagged(self):
+        baseline, fresh = _fake_doc(), _fake_doc()
+        fresh["entries"][1]["n"] = 999
+        problems = compare_scale(baseline, fresh)
+        assert any("no baseline entry" in p for p in problems)
+
+    def test_memory_regression_uses_its_own_factor(self):
+        baseline, fresh = _fake_doc(), _fake_doc()
+        fresh["entries"][0]["rss_max_kb"] = (
+            baseline["entries"][0]["rss_max_kb"] * 4
+        )
+        assert compare_scale(baseline, fresh) != []
+        assert (
+            compare_scale(baseline, fresh, factors={"rss_max_kb": 5.0})
+            == []
+        )
+
+    def test_schema_mismatch_fails_fast(self):
+        baseline, fresh = _fake_doc(), _fake_doc()
+        fresh["schema"] = "something-else"
+        problems = compare_scale(baseline, fresh)
+        assert problems and "schema mismatch" in problems[0]
+
+    def test_render_table(self, tmp_path):
+        doc = _fake_doc()
+        table = render_scale_table(doc)
+        assert "cairn" in table and "waxman50-0" in table
+        path = tmp_path / "scale.json"
+        write_scale(str(path), doc)
+        assert json.loads(path.read_text())["schema"] == SCALE_SCHEMA
+
+
+class TestCommittedArtifact:
+    def test_bench_scale_has_the_full_trajectory(self):
+        with open(os.path.join(REPO_ROOT, "BENCH_scale.json")) as fh:
+            committed = json.load(fh)
+        assert committed["schema"] == SCALE_SCHEMA
+        sizes = [entry["n"] for entry in committed["entries"]]
+        assert sizes == sorted(SCALE_SIZES)
+        for entry in committed["entries"]:
+            assert entry["messages"] > 0
+            assert entry["wall_s"] > 0
+            assert entry["cpu_s"] > 0
+            assert entry["rss_max_kb"] > 0
+            assert entry["phases"], entry["name"]
+            for phase in entry["phases"].values():
+                assert {"total_s", "self_s", "cpu_s", "calls"} <= set(
+                    phase
+                )
+
+    def test_fresh_cairn_run_matches_committed_counts(self, cairn_entry):
+        """The deterministic half of the committed artifact is live."""
+        with open(os.path.join(REPO_ROOT, "BENCH_scale.json")) as fh:
+            committed = json.load(fh)
+        recorded = {e["n"]: e for e in committed["entries"]}[27]
+        assert cairn_entry["messages"] == recorded["messages"]
+        assert cairn_entry["lsu_sent"] == recorded["lsu_sent"]
+        assert cairn_entry["links"] == recorded["links"]

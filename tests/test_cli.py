@@ -69,6 +69,51 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["report"])
 
+    def test_scale_bench_command(self):
+        args = build_parser().parse_args(
+            ["scale-bench", "--out", "s.json", "--max-nodes", "100",
+             "--seed", "7", "--memory", "tracemalloc",
+             "--profile-out", "p.txt"]
+        )
+        assert args.command == "scale-bench"
+        assert args.out == "s.json"
+        assert args.max_nodes == 100
+        assert args.seed == 7
+        assert args.memory == "tracemalloc"
+        assert args.profile_out == "p.txt"
+
+    def test_scale_bench_defaults(self):
+        args = build_parser().parse_args(["scale-bench"])
+        assert args.out == "BENCH_scale.json"
+        assert args.max_nodes is None
+        assert args.memory == "rss"
+
+    def test_bench_check_command(self):
+        args = build_parser().parse_args(
+            ["bench-check", "--baseline", "b.json", "--max-nodes", "50",
+             "--wall-factor", "8", "--mem-factor", "4",
+             "--fresh-out", "f.json"]
+        )
+        assert args.command == "bench-check"
+        assert args.baseline == "b.json"
+        assert args.max_nodes == 50
+        assert args.wall_factor == 8.0
+        assert args.mem_factor == 4.0
+        assert args.fresh_out == "f.json"
+
+    def test_profile_command(self):
+        args = build_parser().parse_args(
+            ["profile", "--n", "50", "--top", "5", "--memory", "none"]
+        )
+        assert args.command == "profile"
+        assert args.n == 50
+        assert args.top == 5
+        assert args.memory == "none"
+
+    def test_rejects_bad_memory_instrument(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scale-bench", "--memory", "psutil"])
+
 
 class TestRegistry:
     def test_every_paper_figure_registered(self):
@@ -187,3 +232,56 @@ class TestMain:
         printed = capsys.readouterr().out
         assert "CAIRN" in printed and "NET1" in printed
         assert "CAIRN" in out_file.read_text()
+
+    def test_profile_prints_ranked_phases(self, tmp_path, capsys):
+        out_file = tmp_path / "p.txt"
+        code = main(["profile", "--top", "3", "--out", str(out_file)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "cairn" in printed and "self time" in printed
+        assert "self time" in out_file.read_text()
+
+    def test_scale_bench_writes_artifact(self, tmp_path, capsys):
+        out_file = tmp_path / "s.json"
+        profile_file = tmp_path / "p.txt"
+        code = main([
+            "scale-bench", "--max-nodes", "27",
+            "--out", str(out_file),
+            "--profile-out", str(profile_file),
+        ])
+        assert code == 0
+        doc = json.loads(out_file.read_text())
+        assert [e["n"] for e in doc["entries"]] == [27]
+        assert "cairn" in capsys.readouterr().out  # trajectory table
+        assert "## cairn (n=27)" in profile_file.read_text()
+
+    def test_bench_check_gates_on_regression(self, tmp_path, capsys):
+        """End-to-end CI gate: pass against the committed numbers, then
+        nonzero exit once the baseline claims a 10x-faster wall clock."""
+        out_file = tmp_path / "s.json"
+        assert main(
+            ["scale-bench", "--max-nodes", "27", "--out", str(out_file)]
+        ) == 0
+        assert main(
+            ["bench-check", "--baseline", str(out_file),
+             "--max-nodes", "27"]
+        ) == 0
+        assert "bench-check: OK" in capsys.readouterr().out
+
+        doc = json.loads(out_file.read_text())
+        for entry in doc["entries"]:  # injected 10x wall-clock regression
+            entry["wall_s"] = entry["wall_s"] / 10 or 1e-6
+            entry["cpu_s"] = entry["cpu_s"] / 10 or 1e-6
+        out_file.write_text(json.dumps(doc))
+        fresh_file = tmp_path / "fresh.json"
+        code = main(
+            ["bench-check", "--baseline", str(out_file),
+             "--max-nodes", "27", "--fresh-out", str(fresh_file)]
+        )
+        assert code == 1
+        assert "regressed more than" in capsys.readouterr().out
+        assert json.loads(fresh_file.read_text())["entries"]
+
+    def test_bench_check_max_nodes_must_cover_a_size(self):
+        with pytest.raises(SystemExit):
+            main(["scale-bench", "--max-nodes", "5"])

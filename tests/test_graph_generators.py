@@ -3,7 +3,15 @@
 import pytest
 
 from repro.exceptions import TopologyError
-from repro.graph.generators import complete, grid, line, random_connected, ring
+from repro.graph.generators import (
+    barabasi_albert,
+    complete,
+    grid,
+    line,
+    random_connected,
+    ring,
+    waxman,
+)
 
 
 class TestLine:
@@ -77,3 +85,78 @@ class TestRandomConnected:
     def test_too_many_chords_rejected(self):
         with pytest.raises(TopologyError):
             random_connected(4, extra_links=100, seed=0)
+
+
+class TestWaxman:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_connected_and_symmetric(self, seed):
+        topo = waxman(40, seed=seed)
+        assert topo.is_connected()
+        assert topo.is_symmetric()
+
+    def test_deterministic_per_seed(self):
+        a = waxman(50, seed=7)
+        b = waxman(50, seed=7)
+        assert [
+            (l.head, l.tail, l.capacity, l.prop_delay) for l in a.links()
+        ] == [(l.head, l.tail, l.capacity, l.prop_delay) for l in b.links()]
+
+    def test_different_seeds_differ(self):
+        a = {l.link_id for l in waxman(50, seed=1).links()}
+        b = {l.link_id for l in waxman(50, seed=2).links()}
+        assert a != b
+
+    def test_degree_tracks_target_across_sizes(self):
+        # The derived-alpha construction keeps mean degree roughly flat
+        # as n grows (a fixed alpha would make it grow linearly).
+        for n in (30, 100, 200):
+            topo = waxman(n, seed=3, target_degree=3.5)
+            mean_degree = topo.num_links / topo.num_nodes
+            assert 2.0 <= mean_degree <= 6.0, (n, mean_degree)
+
+    def test_delays_scale_with_distance(self):
+        topo = waxman(60, seed=5)
+        delays = [ln.prop_delay for ln in topo.links()]
+        assert max(delays) > 1.5 * min(delays)
+        mean = sum(delays) / len(delays)
+        # Normalized so the mean link delay matches the requested one.
+        assert mean == pytest.approx(0.001, rel=0.35)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TopologyError):
+            waxman(1)
+        with pytest.raises(TopologyError):
+            waxman(10, beta=0.0)
+        with pytest.raises(TopologyError):
+            waxman(10, target_degree=0.0)
+
+
+class TestBarabasiAlbert:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_connected_and_symmetric(self, seed):
+        topo = barabasi_albert(40, m=2, seed=seed)
+        assert topo.is_connected()
+        assert topo.is_symmetric()
+
+    def test_deterministic_per_seed(self):
+        a = barabasi_albert(50, m=2, seed=9)
+        b = barabasi_albert(50, m=2, seed=9)
+        assert [(l.head, l.tail) for l in a.links()] == [
+            (l.head, l.tail) for l in b.links()
+        ]
+
+    def test_link_count(self):
+        # m links per attached node on top of the m-link seed star.
+        topo = barabasi_albert(30, m=2, seed=0)
+        assert topo.num_links == 2 * (2 + (30 - 3) * 2)
+
+    def test_hubs_emerge(self):
+        topo = barabasi_albert(100, m=2, seed=4)
+        degrees = [topo.degree(n) for n in topo.nodes]
+        assert max(degrees) >= 4 * (sum(degrees) / len(degrees))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(TopologyError):
+            barabasi_albert(2, m=2)
+        with pytest.raises(TopologyError):
+            barabasi_albert(10, m=0)

@@ -168,6 +168,48 @@ class TestPhaseTimers:
         assert ob.timers.stats("p").calls == 1
 
 
+class TestPhaseEdgeCases:
+    def test_as_dict_with_zero_samples(self):
+        """An allocated-but-never-entered phase must not divide by zero."""
+        from repro.obs.timing import PhaseStats, ProfilePhaseStats
+
+        for stats in (PhaseStats(), ProfilePhaseStats()):
+            out = stats.as_dict()
+            assert out["calls"] == 0
+            assert out["mean_s"] == 0.0
+            assert out["total_s"] == 0.0
+
+    def test_reentrant_phase_stays_sane(self):
+        """A phase nested inside itself: totals monotone, self_s >= 0."""
+        from repro.obs.timing import PhaseTimers, ProfilingTimers
+
+        for cls in (PhaseTimers, ProfilingTimers):
+            timers = cls()
+            with timers.phase("recurse"):
+                with timers.phase("recurse"):
+                    pass
+            out = timers.as_dict()["recurse"]
+            assert out["calls"] == 2
+            # The outer interval contains the inner one, so the
+            # accumulated total double-counts the overlap; it must still
+            # be finite and the profiling variant must clamp self time.
+            assert out["total_s"] >= out["max_s"]
+            if "self_s" in out:
+                assert out["self_s"] >= 0.0
+
+    def test_null_phase_is_a_shared_singleton(self):
+        """The disabled path allocates nothing per call."""
+        contexts = {id(phase(None, f"p{i}")) for i in range(100)}
+        assert contexts == {id(NULL_PHASE)}
+
+    def test_exception_inside_phase_still_recorded(self):
+        timers = PhaseTimers()
+        with pytest.raises(RuntimeError):
+            with timers.phase("boom"):
+                raise RuntimeError("x")
+        assert timers.stats("boom").calls == 1
+
+
 class TestExport:
     def test_snapshot_keys(self):
         ob = obs.Observation()

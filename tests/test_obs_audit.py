@@ -4,7 +4,9 @@ import pytest
 
 from repro import obs
 from repro.core.driver import ProtocolDriver
-from repro.core.mpda import MPDARouter
+from repro.core.lfi import LFIViolation
+from repro.core.mpda import MPDARouter, check_safety
+from repro.exceptions import LoopError
 from repro.graph.topologies import net1
 from repro.obs.audit import InvariantAuditor
 
@@ -144,3 +146,91 @@ class TestViolationDetection:
                 observation.auditor.checks
                 >= observation.auditor.events_seen
             )
+
+
+class _DifferentialAuditor(InvariantAuditor):
+    """Runs the ground-truth check next to every audit and compares."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.compared = 0
+
+    def audit(self, routers, observation, **kwargs):
+        mpda = {
+            n: r for n, r in routers.items() if isinstance(r, MPDARouter)
+        }
+        expect_clean = True
+        try:
+            check_safety(mpda)
+        except (LFIViolation, LoopError):
+            expect_clean = False
+        got_clean = super().audit(routers, observation, **kwargs)
+        assert got_clean == expect_clean, (
+            f"incremental audit disagrees with check_safety "
+            f"(incremental={got_clean}, full={expect_clean}, "
+            f"context={kwargs.get('context')!r})"
+        )
+        self.compared += 1
+        return got_clean
+
+
+class TestIncrementalAudit:
+    """The cached per-destination audit must equal a full check_safety."""
+
+    def _differential_run(self, topo):
+        with obs.observe(audit=True) as observation:
+            observation.auditor = _DifferentialAuditor()
+            driver = _converged_driver(topo)
+            driver.fail_link(*_first_link(topo))
+            driver.run()
+            driver.restore_link(*_first_link(topo), 1.0, 1.0)
+            driver.run()
+            return observation, observation.auditor
+
+    def test_agrees_with_full_check_on_diamond(self, diamond):
+        observation, auditor = self._differential_run(diamond)
+        assert auditor.compared == auditor.checks
+        assert auditor.compared > 50
+        assert auditor.verdict == "pass"
+
+    def test_agrees_with_full_check_on_net1(self):
+        observation, auditor = self._differential_run(net1())
+        assert auditor.compared == auditor.checks
+        assert auditor.verdict == "pass"
+
+    def test_incremental_path_is_exercised(self, diamond):
+        with obs.observe(audit=True) as observation:
+            _converged_driver(diamond)
+            snap = observation.metrics.snapshot()["counters"]
+        # Sampled per-event audits went through the cache: at least some
+        # re-checked only a subset of destinations or skipped outright.
+        assert "lfi_audit.destinations_checked" in snap
+        assert observation.auditor._cache is not None
+
+    def test_event_counts_unchanged_by_audit_mode(self, diamond):
+        """The auditor observes; it must not alter the run itself."""
+        plain = _converged_driver(diamond).delivered
+        with obs.observe(audit=True):
+            audited = _converged_driver(diamond).delivered
+        assert plain == audited
+
+    def test_quiescent_audit_rebuilds_ground_truth(self, diamond):
+        with obs.observe(audit=True) as observation:
+            driver = _converged_driver(diamond)
+            auditor = observation.auditor
+            # Tamper behind the protocol's back: no route_version tick.
+            router = driver.routers["s"]
+            dest = next(iter(router.successor_sets))
+            router.feasible_distance[dest] = -1.0
+            # A direct audit (what the driver issues at quiescence) must
+            # catch it even though the incremental cache thinks nothing
+            # changed.
+            assert not auditor.audit(
+                driver.routers, observation, context="quiescent"
+            )
+            assert auditor.verdict == "fail"
+
+
+def _first_link(topo):
+    link = next(iter(topo.links()))
+    return link.head, link.tail
