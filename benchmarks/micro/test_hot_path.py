@@ -1,0 +1,152 @@
+"""MICRO — hot-path kernels: batched allocation, shared-heap SPF,
+incremental protocol core.
+
+Not a paper figure; pins the optimized kernels against their scalar /
+reference counterparts so a regression in either speed or exactness
+shows up in CI.  Every benchmark asserts bit-for-bit equality with the
+reference implementation before reporting the speedup — a kernel that
+got fast by drifting from the scalar semantics fails here, not in a
+fixture diff three PRs later.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core.allocation import ah, ah_batch, ih, ih_batch
+from repro.core.driver import ProtocolDriver
+from repro.core.mpda import MPDARouter
+from repro.graph.generators import waxman
+from repro.graph.shortest_paths import (
+    bellman_ford,
+    multi_destination_distances,
+)
+
+#: (rows, max successor-set width) for the allocation kernels — sized
+#: like one n=300 allocation sweep (every router x destination pair).
+ALLOC_SHAPE = (3000, 6)
+
+
+def _allocation_rows(seed: int) -> list[dict[int, float]]:
+    """Random marginal-distance rows shaped like a protocol sweep."""
+    rng = random.Random(seed)
+    n_rows, max_width = ALLOC_SHAPE
+    rows = []
+    for _ in range(n_rows):
+        width = rng.randint(1, max_width)
+        succ = rng.sample(range(50), width)
+        rows.append({k: rng.uniform(0.01, 5.0) for k in succ})
+    return rows
+
+
+def test_ih_batch_vs_scalar(benchmark, record_figure):
+    rows = _allocation_rows(seed=7)
+    ih_batch(rows[:4])  # pull the numpy import out of the timed region
+
+    t0 = time.perf_counter()
+    scalar = [ih(row) for row in rows]
+    scalar_s = time.perf_counter() - t0
+
+    batched = run_once(benchmark, ih_batch, rows)
+
+    assert batched == scalar  # bit-for-bit, including key order
+    assert all(list(b) == list(s) for b, s in zip(batched, scalar))
+    batch_s = benchmark.stats.stats.mean
+    record_figure(
+        "micro_ih_batch",
+        f"IH batch over {len(rows)} rows: scalar {scalar_s * 1e3:.1f} ms, "
+        f"batched {batch_s * 1e3:.1f} ms "
+        f"({scalar_s / batch_s:.1f}x)",
+    )
+
+
+def test_ah_batch_vs_scalar(benchmark, record_figure):
+    rows = _allocation_rows(seed=11)
+    phis = [ih(row) for row in rows]
+    ah_batch(phis[:4], rows[:4])  # warm the numpy import
+
+    t0 = time.perf_counter()
+    scalar = [ah(phi, row) for phi, row in zip(phis, rows)]
+    scalar_s = time.perf_counter() - t0
+
+    batched = run_once(benchmark, ah_batch, phis, rows)
+
+    assert batched == scalar
+    assert all(list(b) == list(s) for b, s in zip(batched, scalar))
+    batch_s = benchmark.stats.stats.mean
+    record_figure(
+        "micro_ah_batch",
+        f"AH batch over {len(rows)} rows: scalar {scalar_s * 1e3:.1f} ms, "
+        f"batched {batch_s * 1e3:.1f} ms "
+        f"({scalar_s / batch_s:.1f}x)",
+    )
+
+
+def test_multi_destination_spf(benchmark, record_figure):
+    """One SharedSPF setup amortized over all destinations."""
+    topo = waxman(120, seed=3)
+    costs = topo.idle_marginal_costs()
+    destinations = sorted(topo.nodes)
+
+    t0 = time.perf_counter()
+    per_dest = {j: bellman_ford(costs, j) for j in destinations}
+    loop_s = time.perf_counter() - t0
+
+    shared = run_once(
+        benchmark, multi_destination_distances, costs, destinations
+    )
+
+    assert shared == per_dest
+    shared_s = benchmark.stats.stats.mean
+    record_figure(
+        "micro_multi_dest_spf",
+        f"SPF to {len(destinations)} destinations (n=120 Waxman): "
+        f"per-destination {loop_s * 1e3:.1f} ms, shared-heap "
+        f"{shared_s * 1e3:.1f} ms ({loop_s / shared_s:.1f}x)",
+    )
+
+
+class _ReferenceRouter(MPDARouter):
+    """MPDA with every incremental shortcut disabled."""
+
+    INCREMENTAL = False
+
+
+@pytest.mark.parametrize("n", [50])
+def test_incremental_driver_step_loop(benchmark, record_figure, n):
+    """Cold-start convergence: incremental core vs reference core.
+
+    The two runs must agree on every protocol-visible count (the
+    incremental paths are exact, not approximate); the benchmark then
+    reports how much of the driver step loop the shortcuts save.
+    """
+    topo = waxman(n, seed=1)
+    costs = topo.idle_marginal_costs()
+
+    def converge(router_cls):
+        driver = ProtocolDriver(topo, router_cls, seed=0)
+        driver.start(costs)
+        driver.run()
+        driver.verify_converged()
+        return driver
+
+    t0 = time.perf_counter()
+    reference = converge(_ReferenceRouter)
+    reference_s = time.perf_counter() - t0
+
+    driver = run_once(benchmark, converge, MPDARouter)
+
+    assert driver.message_stats() == reference.message_stats()
+    for node, router in driver.routers.items():
+        assert router.distances == reference.routers[node].distances
+    incremental_s = benchmark.stats.stats.mean
+    record_figure(
+        f"micro_incremental_n{n}",
+        f"MPDA cold-start, n={n}: reference {reference_s:.2f} s, "
+        f"incremental {incremental_s:.2f} s "
+        f"({reference_s / incremental_s:.1f}x)",
+    )

@@ -459,7 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="X",
-        help="fail when wall_s exceeds X times the baseline (default 5)",
+        help="fail when wall_s exceeds X times the baseline (default 3)",
     )
     check.add_argument(
         "--mem-factor",

@@ -75,6 +75,15 @@ class ProtocolDriver:
         }
         self.transport = transport if transport is not None else PerfectChannel()
         self.transport.attach([ln.link_id for ln in topo.links()])
+        #: The MPDA subset, computed once — the per-event hot path asks
+        #: "is this router MPDA?" for every delivery and the safety
+        #: checker wants the whole subset; routers never change after
+        #: construction.
+        self._mpda_routers: dict[NodeId, MPDARouter] = {
+            node: router
+            for node, router in self.routers.items()
+            if isinstance(router, MPDARouter)
+        }
         self._rng = random.Random(seed)
         self.check_invariants = check_invariants
         self.delivered = 0
@@ -362,7 +371,7 @@ class ProtocolDriver:
             return
         tracing = ob.tracer.enabled
         before_dists = dict(router.distances) if tracing else None
-        if isinstance(router, MPDARouter):
+        if router.node_id in self._mpda_routers:
             was_passive = router.is_passive()
             fn(*args)
             if was_passive != router.is_passive():
@@ -456,13 +465,8 @@ class ProtocolDriver:
     def _maybe_check(self) -> None:
         if not self.check_invariants:
             return
-        mpda = {
-            node: router
-            for node, router in self.routers.items()
-            if isinstance(router, MPDARouter)
-        }
-        if mpda:
-            check_safety(mpda)
+        if self._mpda_routers:
+            check_safety(self._mpda_routers)
 
     def _require_started(self) -> None:
         if not self._started:

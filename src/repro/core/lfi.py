@@ -86,6 +86,8 @@ def lfi_successors(
     topo: Topology,
     costs: CostMap,
     destination: NodeId,
+    *,
+    dist: Mapping[NodeId, float] | None = None,
 ) -> dict[NodeId, list[NodeId]]:
     """Converged multipath successor sets for one destination.
 
@@ -93,9 +95,11 @@ def lfi_successors(
     set is :math:`S^i_j = \\{k \\in N^i : D^k_j < D^i_j\\}` — neighbors
     strictly closer to the destination, regardless of the cost of the
     link to them ("multiple paths of unequal cost").  This is the steady
-    state MPDA converges to (Theorem 4).
+    state MPDA converges to (Theorem 4).  ``dist`` may supply the
+    precomputed all-sources distances to ``destination``.
     """
-    dist = bellman_ford(costs, destination, nodes=topo.nodes)
+    if dist is None:
+        dist = bellman_ford(costs, destination, nodes=topo.nodes)
     successors: dict[NodeId, list[NodeId]] = {}
     for node in topo.nodes:
         if node == destination:
@@ -115,13 +119,16 @@ def shortest_successor(
     topo: Topology,
     costs: CostMap,
     destination: NodeId,
+    *,
+    dist: Mapping[NodeId, float] | None = None,
 ) -> dict[NodeId, list[NodeId]]:
     """Single best successor per router (the SP baseline's sets).
 
     The best successor minimizes :math:`D^k_j + l^i_k`; ties break on the
     deterministic node order so all experiments are reproducible.
     """
-    dist = bellman_ford(costs, destination, nodes=topo.nodes)
+    if dist is None:
+        dist = bellman_ford(costs, destination, nodes=topo.nodes)
     successors: dict[NodeId, list[NodeId]] = {}
     for node in topo.nodes:
         if node == destination:

@@ -23,6 +23,9 @@ from repro.graph.topology import LinkId, NodeId
 
 INFINITY = float("inf")
 
+#: Shared empty mapping returned by no-copy view accessors.
+_EMPTY_LINKS: Mapping = {}
+
 
 class EntryOp(enum.Enum):
     """What an LSU entry does to the receiver's neighbor table."""
@@ -64,12 +67,20 @@ class LSUMessage:
             the protocol itself never inspects it (PDA validates link
             information by distance to the head node, not sequence
             numbers).
+        snapshot: optional :class:`FrozenTree` of the sender's tree
+            after applying ``entries`` — a shared-reference shortcut
+            for receivers whose copy already matches the state the
+            entries were diffed against.  Purely an acceleration: the
+            entries alone carry the full protocol content.
     """
 
     sender: NodeId
     entries: tuple[LinkEntry, ...] = ()
     ack: bool = False
     seq: int = field(default_factory=lambda: next(_sequence))
+    snapshot: "FrozenTree | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def is_pure_ack(self) -> bool:
@@ -82,30 +93,182 @@ class LSUMessage:
 
 
 class TopologyTable:
-    """A set of directed links with costs — one router's view of a graph."""
+    """A set of directed links with costs — one router's view of a graph.
+
+    Alongside the flat link map the table maintains two derived indexes,
+    updated O(1) per mutation, that the protocol hot path leans on:
+
+    - ``_by_head[h]``: the links leaving ``h`` (MTU copies a node's
+      outgoing links from its preferred neighbor's table — a full link
+      scan per node would make MTU quadratic);
+    - ``_node_refs[n]``: how many link endpoints mention ``n`` (so
+      :meth:`nodes` needs no scan), plus ``_in_links[n]`` (the links
+      *into* ``n``) and ``_multi_in`` counting in-degree >= 2 nodes (so
+      :meth:`distances_from` / :meth:`apply_incremental` can recognize
+      when the table is a forest and skip Dijkstra entirely).
+    """
 
     def __init__(self, links: Mapping[LinkId, float] | None = None) -> None:
-        self._links: dict[LinkId, float] = dict(links) if links else {}
+        self._links: dict[LinkId, float] = {}
+        self._by_head: dict[NodeId, dict[LinkId, float]] = {}
+        self._node_refs: dict[NodeId, int] = {}
+        self._in_links: dict[NodeId, dict[NodeId, float]] = {}
+        self._multi_in = 0  # nodes with in-degree >= 2
+        if links:
+            for (head, tail), cost in links.items():
+                self.set_link(head, tail, cost)
 
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
-    def set_link(self, head: NodeId, tail: NodeId, cost: float) -> None:
-        self._links[(head, tail)] = cost
+    def set_link(self, head: NodeId, tail: NodeId, cost: float) -> bool:
+        """Add or update a link; True when the table changed."""
+        link_id = (head, tail)
+        links = self._links
+        old = links.get(link_id)
+        if old is not None and old == cost:
+            return False
+        links[link_id] = cost
+        self._by_head.setdefault(head, {})[link_id] = cost
+        incoming = self._in_links.setdefault(tail, {})
+        incoming[head] = cost
+        if old is None:
+            refs = self._node_refs
+            refs[head] = refs.get(head, 0) + 1
+            refs[tail] = refs.get(tail, 0) + 1
+            if len(incoming) == 2:
+                self._multi_in += 1
+        return True
 
-    def delete_link(self, head: NodeId, tail: NodeId) -> None:
-        self._links.pop((head, tail), None)
+    def delete_link(self, head: NodeId, tail: NodeId) -> bool:
+        """Remove a link; True when it existed."""
+        link_id = (head, tail)
+        if self._links.pop(link_id, None) is None:
+            return False
+        outgoing = self._by_head[head]
+        del outgoing[link_id]
+        if not outgoing:
+            del self._by_head[head]
+        refs = self._node_refs
+        for node in (head, tail):
+            left = refs[node] - 1
+            if left:
+                refs[node] = left
+            else:
+                del refs[node]
+        incoming = self._in_links[tail]
+        del incoming[head]
+        if len(incoming) == 1:
+            self._multi_in -= 1
+        elif not incoming:
+            del self._in_links[tail]
+        return True
 
-    def apply(self, entries: Iterable[LinkEntry]) -> None:
-        """Apply LSU entries in order."""
+    def apply(self, entries: Iterable[LinkEntry]) -> bool:
+        """Apply LSU entries in order; True when anything changed."""
+        changed = False
         for entry in entries:
             if entry.op is EntryOp.DELETE:
-                self.delete_link(entry.head, entry.tail)
+                changed = self.delete_link(entry.head, entry.tail) or changed
             else:
-                self.set_link(entry.head, entry.tail, entry.cost)
+                changed = (
+                    self.set_link(entry.head, entry.tail, entry.cost) or changed
+                )
+        return changed
+
+    def apply_incremental(
+        self,
+        entries: Iterable[LinkEntry],
+        root: NodeId,
+        dist: dict[NodeId, float],
+    ) -> tuple[bool, set[NodeId] | None]:
+        """Apply LSU entries and patch ``dist`` (distances from ``root``).
+
+        ``dist`` must equal ``distances_from(root)`` for the pre-apply
+        table; on the tree fast path it is updated in place to the
+        post-apply distances and the set of nodes whose value changed
+        (including nodes entering or leaving the table) is returned —
+        exactly the rows a full recompute-and-compare would flag.
+
+        Returns ``(table_changed, changed_nodes)``.  ``changed_nodes``
+        is None when the post-apply table is not a tree rooted at
+        ``root`` (mid-update transient); ``dist`` is then untouched and
+        the caller must fall back to :meth:`distances_from`.
+
+        Only subtrees below modified links are walked, and a branch is
+        pruned as soon as a recomputed value comes out unchanged — an
+        LSU touching k links costs O(affected region), not O(table).
+        """
+        refs = self._node_refs
+        changed_any = False
+        seeds: set[NodeId] = set()
+        removed: set[NodeId] = set()
+        entered: set[NodeId] = set()
+        for entry in entries:
+            head, tail = entry.head, entry.tail
+            if entry.op is EntryOp.DELETE:
+                if not self.delete_link(head, tail):
+                    continue
+                changed_any = True
+                seeds.add(tail)
+                for node in (head, tail):
+                    if node not in refs:
+                        removed.add(node)
+                        entered.discard(node)
+            else:
+                if not self.set_link(head, tail, entry.cost):
+                    continue
+                changed_any = True
+                # The head is seeded too: its value is normally
+                # unaffected by an outgoing link (pruned on first
+                # check), but a node deleted and re-added within one
+                # LSU would otherwise keep a stale distance.
+                seeds.add(tail)
+                seeds.add(head)
+                for node in (head, tail):
+                    if node not in dist and node not in entered:
+                        entered.add(node)
+                        removed.discard(node)
+        if not changed_any:
+            return False, set()
+        if self._multi_in or root in self._in_links:
+            return True, None
+        changed: set[NodeId] = set()
+        for node in removed:
+            if node != root and dist.pop(node, None) is not None:
+                changed.add(node)
+        for node in entered:
+            if node in refs and node not in dist:
+                dist[node] = INFINITY
+                changed.add(node)
+        in_links = self._in_links
+        by_head = self._by_head
+        stack = [t for t in seeds if t in refs]
+        while stack:
+            node = stack.pop()
+            if node == root:
+                continue  # the root's own distance is pinned at 0.0
+            incoming = in_links.get(node)
+            if incoming:
+                ((head, cost),) = incoming.items()
+                value = dist.get(head, INFINITY) + cost
+            else:
+                value = INFINITY
+            if dist.get(node) != value:
+                dist[node] = value
+                changed.add(node)
+                outgoing = by_head.get(node)
+                if outgoing:
+                    for _, tail in outgoing:
+                        stack.append(tail)
+        return True, changed
 
     def clear(self) -> None:
         self._links.clear()
+        self._by_head.clear()
+        self._node_refs.clear()
+        self._in_links.clear()
+        self._multi_in = 0
 
     # ------------------------------------------------------------------
     # queries
@@ -120,24 +283,65 @@ class TopologyTable:
 
     def links_with_head(self, head: NodeId) -> dict[LinkId, float]:
         """The links leaving ``head`` — what MTU copies per node."""
-        return {
-            link_id: cost
-            for link_id, cost in self._links.items()
-            if link_id[0] == head
-        }
+        return dict(self._by_head.get(head, ()))
+
+    def links_with_head_view(self, head: NodeId) -> Mapping[LinkId, float]:
+        """Read-only view of the links leaving ``head`` (no copy).
+
+        The MTU inner loop only iterates the result; callers must not
+        mutate it or hold it across table mutations.
+        """
+        return self._by_head.get(head, _EMPTY_LINKS)
+
+    def links_view(self) -> Mapping[LinkId, float]:
+        """The live link map (read-only; do not hold across mutations)."""
+        return self._links
 
     def nodes(self) -> set[NodeId]:
         """Every node appearing as a head or tail."""
-        out: set[NodeId] = set()
-        for head, tail in self._links:
-            out.add(head)
-            out.add(tail)
-        return out
+        return set(self._node_refs)
+
+    def nodes_view(self):
+        """Iterable view of the node set (no copy; do not hold)."""
+        return self._node_refs.keys()
+
+    def nodes_map_view(self) -> Mapping[NodeId, object]:
+        """The node set as a mapping (values meaningless; no copy).
+
+        Lets callers merge node sets with one C-level ``dict.update``
+        instead of materializing an intermediate ``dict.fromkeys``.
+        """
+        return self._node_refs
 
     def distances_from(
         self, root: NodeId, nodes: list[NodeId] | None = None
     ) -> dict[NodeId, float]:
-        """Shortest distances from ``root`` within this table."""
+        """Shortest distances from ``root`` within this table.
+
+        When the table is a forest with no link into ``root`` — the
+        steady state for a neighbor table, which holds that neighbor's
+        shortest-path *tree* — every reachable node has exactly one path
+        from ``root``, so a single propagation pass reproduces Dijkstra's
+        distances exactly (the same additions in root-outward order;
+        nodes on unreachable components stay at infinity either way).
+        Anything else (mid-update transients, raw faulty channels) falls
+        back to Dijkstra.
+        """
+        if nodes is None and not self._multi_in and root not in self._in_links:
+            dist = dict.fromkeys(self._node_refs, INFINITY)
+            dist[root] = 0.0
+            by_head = self._by_head
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                outgoing = by_head.get(node)
+                if outgoing is None:
+                    continue
+                d = dist[node]
+                for (_, tail), cost in outgoing.items():
+                    dist[tail] = d + cost
+                    stack.append(tail)
+            return dist
         return dijkstra(self._links, root, nodes=nodes)[0]
 
     def copy(self) -> "TopologyTable":
@@ -149,18 +353,29 @@ class TopologyTable:
         This is MTU step 8: "Compare oldT with T and note all
         differences."
         """
+        return self.diff_links(new._links)
+
+    def diff_links(
+        self, new_links: Mapping[LinkId, float]
+    ) -> tuple[LinkEntry, ...]:
+        """LSU entries that transform this table into a plain link map.
+
+        Same comparison as :meth:`diff` without requiring the target to
+        be wrapped in a table — MTU diffs its freshly computed tree and
+        then :meth:`apply`\\ s the entries to patch the main table in
+        place rather than rebuilding it.
+        """
         entries: list[LinkEntry] = []
-        for link_id, cost in new._links.items():
-            old_cost = self._links.get(link_id)
-            head, tail = link_id
+        links = self._links
+        for link_id, cost in new_links.items():
+            old_cost = links.get(link_id)
             if old_cost is None:
-                entries.append(LinkEntry(EntryOp.ADD, head, tail, cost))
+                entries.append(LinkEntry(EntryOp.ADD, *link_id, cost))
             elif old_cost != cost:
-                entries.append(LinkEntry(EntryOp.CHANGE, head, tail, cost))
-        for link_id in self._links:
-            if link_id not in new._links:
-                head, tail = link_id
-                entries.append(LinkEntry(EntryOp.DELETE, head, tail))
+                entries.append(LinkEntry(EntryOp.CHANGE, *link_id, cost))
+        for link_id in links:
+            if link_id not in new_links:
+                entries.append(LinkEntry(EntryOp.DELETE, *link_id))
         return tuple(entries)
 
     def full_dump(self) -> tuple[LinkEntry, ...]:
@@ -186,3 +401,172 @@ class TopologyTable:
 
     def __repr__(self) -> str:
         return f"TopologyTable({len(self._links)} links)"
+
+
+class FrozenTree:
+    """An immutable tree snapshot flooded alongside an LSU.
+
+    Built once by the sender when MTU changes its tree, and shared by
+    reference with every receiver of the flood.  A receiver may adopt it
+    in place of replaying the LSU entries exactly when its current copy
+    of the sender's table equals the state the entries were diffed
+    against — either the copy *is* the sender's previous snapshot (same
+    object, recognized by version), or the copy is empty and the entries
+    rebuild the tree from scratch (``applies_to_empty``).  In both cases
+    the swap lands the receiver on the same table content and the same
+    distance values the entry replay would produce, by construction, at
+    O(1) instead of O(entries + affected region).  Any other receiver
+    state — duplicated or reordered delivery over a raw faulty channel,
+    the ``INCREMENTAL = False`` reference mode — ignores the snapshot
+    and takes the entry path.
+
+    Instances are shared across routers and must never be mutated; a
+    receiver that needs to edit its copy materializes a mutable
+    :class:`TopologyTable` with :meth:`thaw` first.
+
+    Attributes:
+        version: the sender's table version this snapshot captures.
+        prev_version: the version the LSU entries were diffed against
+            (None for a full-table greeting dump).
+        applies_to_empty: True when folding the entries onto an *empty*
+            table yields exactly this snapshot's content (full dumps,
+            and diffs taken against an empty tree).
+        dist: distances from the sender within the tree (tree nodes
+            plus the sender) — what the receiver's NTU would compute.
+        changed_rows: destinations whose ``dist`` entry differs from
+            the predecessor state's, i.e. the row diff the receiver's
+            NTU would report.
+    """
+
+    __slots__ = (
+        "version",
+        "prev_version",
+        "applies_to_empty",
+        "dist",
+        "changed_rows",
+        "_by_head",
+        "_nodes",
+        "_n_links",
+    )
+
+    def __init__(
+        self,
+        *,
+        version: int,
+        prev_version: int | None,
+        applies_to_empty: bool,
+        dist: dict[NodeId, float],
+        changed_rows: set[NodeId],
+        by_head: dict[NodeId, dict[LinkId, float]],
+        nodes: dict[NodeId, None],
+        n_links: int,
+    ) -> None:
+        self.version = version
+        self.prev_version = prev_version
+        self.applies_to_empty = applies_to_empty
+        self.dist = dist
+        self.changed_rows = changed_rows
+        self._by_head = by_head
+        self._nodes = nodes
+        self._n_links = n_links
+
+    @classmethod
+    def from_tree(
+        cls,
+        tree: Mapping[LinkId, float],
+        root: NodeId,
+        dist: Mapping[NodeId, float],
+        *,
+        version: int,
+        prev_version: int | None,
+        applies_to_empty: bool,
+        prev_flood: Mapping[NodeId, float],
+    ) -> "FrozenTree":
+        """Freeze MTU's ``(dist, tree)`` result for flooding.
+
+        ``dist`` may cover the sender's whole node universe; the
+        snapshot keeps only the tree's nodes (all finite) plus the
+        root, matching what :meth:`TopologyTable.distances_from` would
+        return on the receiver.  ``prev_flood`` is the same restricted
+        view of the predecessor state, used to derive ``changed_rows``.
+        """
+        # ``tree`` is a shortest-path tree rooted at ``root``: every node
+        # but the root appears exactly once as a tail, and every head is
+        # the root or some tail — so one fused pass over the links
+        # collects the groups and the restricted distances together, and
+        # the distance map's key set doubles as the node set.
+        by_head: dict[NodeId, dict[LinkId, float]] = {}
+        flood: dict[NodeId, float] = {root: 0.0}
+        group_of = by_head.get
+        for link_id, cost in tree.items():
+            head, tail = link_id
+            group = group_of(head)
+            if group is None:
+                group = by_head[head] = {}
+            group[link_id] = cost
+            flood[tail] = dist[tail]
+        prev_get = prev_flood.get
+        changed = {j for j, v in flood.items() if prev_get(j) != v}
+        for j in prev_flood:
+            if j not in flood:
+                changed.add(j)
+        return cls(
+            version=version,
+            prev_version=prev_version,
+            applies_to_empty=applies_to_empty,
+            dist=flood,
+            changed_rows=changed,
+            by_head=by_head,
+            nodes=flood,
+            n_links=len(tree),
+        )
+
+    def as_full(self, root: NodeId) -> "FrozenTree":
+        """A full-dump variant of this snapshot (greeting messages).
+
+        Shares every underlying mapping; only the acceptance metadata
+        differs: it applies to an empty table and every row counts as
+        changed relative to that empty baseline.
+        """
+        changed = set(self.dist)
+        changed.discard(root)
+        return FrozenTree(
+            version=self.version,
+            prev_version=None,
+            applies_to_empty=True,
+            dist=self.dist,
+            changed_rows=changed,
+            by_head=self._by_head,
+            nodes=self._nodes,
+            n_links=self._n_links,
+        )
+
+    def thaw(self) -> TopologyTable:
+        """A mutable :class:`TopologyTable` with this snapshot's links."""
+        table = TopologyTable()
+        for group in self._by_head.values():
+            for (head, tail), cost in group.items():
+                table.set_link(head, tail, cost)
+        return table
+
+    # Read-only surface shared with TopologyTable (what MTU touches).
+    def links_with_head_view(self, head: NodeId) -> Mapping[LinkId, float]:
+        return self._by_head.get(head, _EMPTY_LINKS)
+
+    def nodes_view(self):
+        return self._nodes.keys()
+
+    def nodes_map_view(self):
+        return self._nodes
+
+    def links(self) -> dict[LinkId, float]:
+        out: dict[LinkId, float] = {}
+        for group in self._by_head.values():
+            out.update(group)
+        return out
+
+    def __len__(self) -> int:
+        return self._n_links
+
+    def __repr__(self) -> str:
+        return f"FrozenTree(v{self.version}, {self._n_links} links)"

@@ -52,6 +52,10 @@ class MPDARouter(PDARouter):
     synchronization state with the set of neighbors whose ACK is pending.
     """
 
+    #: MPDA keeps a dirty-destination set, so NTU must report which
+    #: neighbor-table rows an LSU actually moved (see PDARouter).
+    _TRACK_ROWS = True
+
     def __init__(self, node_id: NodeId) -> None:
         super().__init__(node_id)
         self.state = RouterState.PASSIVE
@@ -60,9 +64,35 @@ class MPDARouter(PDARouter):
         #: full-table dump in addition to the regular diff floods.
         self.pending_acks: dict[NodeId, int] = {}
         self.feasible_distance: dict[NodeId, float] = {}
-        self.successor_sets: dict[NodeId, set[NodeId]] = {}
+        self._successor_sets: dict[NodeId, set[NodeId]] = {}
+        #: True while a recorded input change has not been folded into
+        #: ``_successor_sets`` yet; the property flushes on read.
+        self._succ_stale = False
         self.transitions = 0  # PASSIVE -> ACTIVE count, a protocol metric
         self.acks_received = 0  # consumed ACKs, one per LSU round-trip
+        #: Destinations whose LFI inputs (a neighbor row or FD entry)
+        #: changed since the successor sets were last recomputed.
+        self._dirty_dests: set[NodeId] = set()
+        #: When True the next recomputation rebuilds every destination
+        #: (initial state, or the adjacent-link set itself changed).
+        self._dirty_all = True
+        #: True while ``FD_j = min(FD_j, D_j)`` is known to be a no-op:
+        #: set after each lowering/reset, cleared when MTU recomputes
+        #: the distances it folds in.
+        self._fd_clean = False
+
+    def _note_rows_changed(self, destinations) -> None:
+        if not self._dirty_all:
+            self._dirty_dests.update(destinations)
+
+    def _links_changed(self) -> None:
+        # The successor rule quantifies over the adjacent-link set, so
+        # membership changes can move any destination's set.
+        self._dirty_all = True
+        super()._links_changed()
+
+    def _distances_recomputed(self) -> None:
+        self._fd_clean = False
 
     def _outstanding(self) -> bool:
         """True while any sent LSU still awaits its acknowledgment."""
@@ -75,7 +105,12 @@ class MPDARouter(PDARouter):
     def _greet(self, neighbor: NodeId) -> None:
         dump = self.main_table.full_dump()
         if dump:
-            self._send(neighbor, LSUMessage(self.node_id, dump))
+            self._send(
+                neighbor,
+                LSUMessage(
+                    self.node_id, dump, snapshot=self._full_snapshot()
+                ),
+            )
             self._note_sent(neighbor)
             self.transitions += 1
 
@@ -124,8 +159,16 @@ class MPDARouter(PDARouter):
             self._reset_feasible_distances(before)
         # else: ACTIVE with ACKs outstanding — MTU is deferred.
 
-        # Step 4: successor sets from the LFI rule.
-        self._recompute_successors()
+        # Step 4: successor sets from the LFI rule.  The sets feed only
+        # the forwarding layer — no protocol message depends on them —
+        # so the incremental mode defers the recomputation until a
+        # reader (the router manager, an auditor, a test) actually looks
+        # at them; recomputing once per accumulated dirty set yields the
+        # same sets as recomputing after every event.
+        if self.INCREMENTAL:
+            self._succ_stale = True
+        else:
+            self._recompute_successors()
 
         # Steps 5-8: flood changes (going ACTIVE) and/or acknowledge.
         if changes and self.link_costs:
@@ -137,13 +180,25 @@ class MPDARouter(PDARouter):
             self._send(lsu_sender, LSUMessage(self.node_id, (), ack=True))
 
     def _lower_feasible_distances(self) -> None:
-        """Fig. 4 step 2b: ``FD_j = min(FD_j, D_j)`` for every known j."""
+        """Fig. 4 step 2b: ``FD_j = min(FD_j, D_j)`` for every known j.
+
+        Lowering only reads ``self.distances``; once it has run, it stays
+        a no-op until MTU actually recomputes those distances (pure-ACK
+        events leave them untouched), so ``_fd_clean`` short-circuits it.
+        """
+        if self._fd_clean and self.INCREMENTAL:
+            return
+        dirty = self._dirty_dests
+        me = self.node_id
+        feasible = self.feasible_distance
         for j, d in self.distances.items():
-            if j == self.node_id or d == INFINITY:
+            if j == me or d == INFINITY:
                 continue
-            fd = self.feasible_distance.get(j, INFINITY)
+            fd = feasible.get(j, INFINITY)
             if d < fd:
-                self.feasible_distance[j] = d
+                feasible[j] = d
+                dirty.add(j)
+        self._fd_clean = True
 
     def _reset_feasible_distances(
         self, before: Mapping[NodeId, float]
@@ -154,18 +209,41 @@ class MPDARouter(PDARouter):
         last LSU, so only the just-reported and the about-to-be-reported
         distances can still be in any neighbor's tables.
         """
-        known = set(before) | set(self.distances) | set(self.feasible_distance)
-        for j in known:
-            if j == self.node_id:
+        dirty = self._dirty_dests
+        feasible = self.feasible_distance
+        distances = self.distances
+        me = self.node_id
+        before_get = before.get
+        for j, d in distances.items():
+            if j == me:
                 continue
-            fd = min(
-                before.get(j, INFINITY),
-                self.distances.get(j, INFINITY),
-            )
+            b = before_get(j, INFINITY)
+            fd = b if b < d else d
             if fd == INFINITY:
-                self.feasible_distance.pop(j, None)
+                if feasible.pop(j, None) is not None:
+                    dirty.add(j)
             else:
-                self.feasible_distance[j] = fd
+                if feasible.get(j) != fd:
+                    dirty.add(j)
+                feasible[j] = fd
+        for j, fd in before.items():
+            if j == me or j in distances:
+                continue
+            if fd == INFINITY:
+                if feasible.pop(j, None) is not None:
+                    dirty.add(j)
+            else:
+                if feasible.get(j) != fd:
+                    dirty.add(j)
+                feasible[j] = fd
+        for j in [
+            j for j in feasible if j not in distances and j not in before
+        ]:
+            del feasible[j]
+            dirty.add(j)
+        # The reset already folded the current distances in (FD <= D for
+        # every entry), so the next step-2b lowering is a no-op.
+        self._fd_clean = True
 
     def _recompute_successors(self) -> None:
         """Fig. 4 step 4: :math:`S_j = \\{k : D^i_{jk} < FD^i_j\\}`.
@@ -175,27 +253,81 @@ class MPDARouter(PDARouter):
         are then usable — safe because this router has never reported a
         finite distance to that destination, so no neighbor can be
         routing through it (see module docstring).
-        """
-        destinations: set[NodeId] = set(self.feasible_distance)
-        for dists in self.nbr_distances.values():
-            destinations.update(dists)
-        destinations.discard(self.node_id)
 
-        successors: dict[NodeId, set[NodeId]] = {}
-        for j in destinations:
-            fd = self.feasible_distance.get(j, INFINITY)
-            chosen = {
-                k
-                for k in self.link_costs
-                if self.neighbor_distance(k, j) < fd
-            }
+        The rule for destination *j* reads only *j*'s feasible distance,
+        *j*'s row of each neighbor table, and the adjacent-link set; NTU
+        and the FD updates record which of those moved, so only the
+        dirty destinations are recomputed.  The full rebuild below is
+        kept verbatim for the initial pass, link-set changes, and the
+        ``INCREMENTAL = False`` reference mode.
+        """
+        if self._dirty_all or not self.INCREMENTAL:
+            self._dirty_all = False
+            self._dirty_dests.clear()
+            destinations: set[NodeId] = set(self.feasible_distance)
+            for dists in self.nbr_distances.values():
+                destinations.update(dists)
+            destinations.discard(self.node_id)
+
+            successors: dict[NodeId, set[NodeId]] = {}
+            feasible = self.feasible_distance
+            all_rows = [
+                (k, self.nbr_distances.get(k)) for k in self.link_costs
+            ]
+            for j in destinations:
+                fd = feasible.get(j, INFINITY)
+                chosen = set()
+                for k, row in all_rows:
+                    if k == j:
+                        if fd > 0.0:
+                            chosen.add(k)
+                    elif row is not None:
+                        dist_kj = row.get(j)
+                        if dist_kj is not None and dist_kj < fd:
+                            chosen.add(k)
+                if chosen:
+                    successors[j] = chosen
+            self._successor_sets = successors
+            return
+
+        dirty = self._dirty_dests
+        if not dirty:
+            return
+        self._dirty_dests = set()
+        me = self.node_id
+        feasible = self.feasible_distance
+        successors = self._successor_sets
+        nbr_distances = self.nbr_distances
+        rows = [(k, nbr_distances.get(k)) for k in self.link_costs]
+        for j in dirty:
+            if j == me:
+                continue
+            fd = feasible.get(j, INFINITY)
+            chosen = set()
+            for k, row in rows:
+                if k == j:
+                    if fd > 0.0:
+                        chosen.add(k)
+                elif row is not None:
+                    dist_kj = row.get(j)
+                    if dist_kj is not None and dist_kj < fd:
+                        chosen.add(k)
             if chosen:
                 successors[j] = chosen
-        self.successor_sets = successors
+            else:
+                successors.pop(j, None)
 
     # ------------------------------------------------------------------
     # forwarding-layer queries
     # ------------------------------------------------------------------
+    @property
+    def successor_sets(self) -> dict[NodeId, set[NodeId]]:
+        """:math:`S^i_j` per destination, recomputed lazily on read."""
+        if self._succ_stale:
+            self._succ_stale = False
+            self._recompute_successors()
+        return self._successor_sets
+
     def successors(self, destination: NodeId) -> set[NodeId]:
         """:math:`S^i_j` — may be empty when no loop-free route is known."""
         return set(self.successor_sets.get(destination, ()))

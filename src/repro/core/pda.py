@@ -26,9 +26,16 @@ from __future__ import annotations
 
 import itertools
 
-from repro.core.linkstate import INFINITY, LSUMessage, TopologyTable
+from repro.core.linkstate import (
+    INFINITY,
+    EntryOp,
+    FrozenTree,
+    LinkEntry,
+    LSUMessage,
+    TopologyTable,
+)
 from repro.exceptions import RoutingError
-from repro.graph.shortest_paths import dijkstra_tree
+from repro.graph.shortest_paths import dijkstra, rank_nodes
 from repro.graph.topology import NodeId
 
 #: Process-wide router identities.  ``id()`` would be ambiguous here:
@@ -53,7 +60,26 @@ class PDARouter:
     Attributes:
         outbox: queued ``(neighbor, LSUMessage)`` pairs for the driver.
         mtu_runs / lsu_sent / lsu_received: protocol statistics.
+
+    Incremental bookkeeping: every event that can change MTU's inputs
+    (adjacent link set or cost, any neighbor-table content) sets
+    ``_tables_dirty``; MTU is deterministic in those inputs and
+    idempotent, so while the flag is clear :meth:`_mtu` returns the empty
+    diff without recomputing — the dominant case for MPDA's pure-ACK
+    deliveries.  ``INCREMENTAL = False`` (subclass hook) disables every
+    such shortcut; the differential tests run a reference router with it
+    off and assert byte-identical behavior.
     """
+
+    #: Master switch for the incremental shortcuts (MTU clean-skip, NTU
+    #: no-op-LSU skip, dirty-destination successor recomputation).  The
+    #: non-incremental path is the semantics oracle for testing.
+    INCREMENTAL = True
+
+    #: Whether `_ntu_apply_lsu` should diff neighbor-table rows and report
+    #: changed destinations via `_note_rows_changed` (MPDA needs this for
+    #: its dirty-destination set; plain PDA skips the diff cost).
+    _TRACK_ROWS = False
 
     def __init__(self, node_id: NodeId) -> None:
         self.node_id = node_id
@@ -75,6 +101,40 @@ class PDARouter:
         self.lsu_sent = 0
         self.lsu_received = 0
         self.entries_sent = 0
+        #: True when MTU's inputs changed since its last recomputation.
+        self._tables_dirty = True
+        #: Cached tie-break ranks over the known-node universe, rebuilt
+        #: only when the universe's membership changes.
+        self._rank: dict[NodeId, int] = {}
+        self._rank_nodes: frozenset[NodeId] = frozenset()
+        #: Main-table version (bumped once per changed MTU) and the
+        #: frozen snapshot of the current tree, attached to outgoing
+        #: LSUs so in-sync receivers adopt the new tree by reference.
+        self._table_version = 0
+        self._snap: FrozenTree | None = None
+        #: Restricted distance view of the current main table (tree
+        #: nodes plus self) — what a receiver's NTU computes from it.
+        self._flood_dist: dict[NodeId, float] = {node_id: 0.0}
+        #: Per-neighbor version of the frozen snapshot currently held
+        #: in ``neighbor_tables`` (absent = mutable or out-of-sync).
+        self._nbr_versions: dict[NodeId, int] = {}
+        #: MTU steps 3-4 state carried across runs: per-destination
+        #: preferred neighbor and its merged value, the candidate cost
+        #: map, and its adjacency.  Valid while ``_mtu_full`` is False;
+        #: ``_best_dirty`` lists destinations whose neighbor rows moved
+        #: and ``_group_dirty`` the heads whose copied link group must
+        #: be re-sourced.
+        self._best_val: dict[NodeId, float] = {}
+        self._best_nbr: dict[NodeId, NodeId] = {}
+        self._cand: dict[tuple[NodeId, NodeId], float] = {}
+        self._adj: dict[NodeId, list[tuple[NodeId, float]]] = {}
+        self._best_dirty: set[NodeId] = set()
+        self._group_dirty: set[NodeId] = set()
+        #: The single neighbor all of ``_best_dirty`` came from, or None
+        #: once several senders contributed (None disables the
+        #: challenger short-cut in ``_mtu_refresh``).
+        self._dirty_sender: NodeId | None = None
+        self._mtu_full = True
 
     # ------------------------------------------------------------------
     # events
@@ -85,6 +145,8 @@ class PDARouter:
         self.link_costs[neighbor] = cost
         self.neighbor_tables.setdefault(neighbor, TopologyTable())
         self.nbr_distances.setdefault(neighbor, {neighbor: 0.0})
+        self._tables_dirty = True
+        self._links_changed()
         self._greet(neighbor)
         self._after_ntu(lsu_sender=None)
 
@@ -92,7 +154,18 @@ class PDARouter:
         """NTU step 2: greet a new neighbor with the full main table."""
         dump = self.main_table.full_dump()
         if dump:
-            self._send(neighbor, LSUMessage(self.node_id, dump))
+            self._send(
+                neighbor,
+                LSUMessage(
+                    self.node_id, dump, snapshot=self._full_snapshot()
+                ),
+            )
+
+    def _full_snapshot(self) -> FrozenTree | None:
+        """The current tree as a full-dump snapshot (greeting messages)."""
+        if not self.INCREMENTAL or self._snap is None:
+            return None
+        return self._snap.as_full(self.node_id)
 
     def link_cost_change(self, neighbor: NodeId, cost: float) -> None:
         """The measured cost of the adjacent link changed (NTU step 3)."""
@@ -103,6 +176,10 @@ class PDARouter:
                 f"{neighbor!r}"
             )
         self.link_costs[neighbor] = cost
+        self._tables_dirty = True
+        #: Every merged value through this neighbor shifted; rebuild
+        #: the preferred-neighbor state from scratch next MTU.
+        self._mtu_full = True
         self._after_ntu(lsu_sender=None)
 
     def link_down(self, neighbor: NodeId) -> None:
@@ -110,6 +187,9 @@ class PDARouter:
         self.link_costs.pop(neighbor, None)
         self.neighbor_tables.pop(neighbor, None)
         self.nbr_distances.pop(neighbor, None)
+        self._nbr_versions.pop(neighbor, None)
+        self._tables_dirty = True
+        self._links_changed()
         self._after_ntu(lsu_sender=None)
 
     def receive(self, message: LSUMessage) -> None:
@@ -130,10 +210,109 @@ class PDARouter:
     def _ntu_apply_lsu(self, message: LSUMessage) -> None:
         """NTU step 1: apply entries and recompute the sender's distances."""
         sender = message.sender
-        table = self.neighbor_tables.setdefault(sender, TopologyTable())
-        table.apply(message.entries)
-        self.nbr_distances[sender] = table.distances_from(sender)
-        self.nbr_distances[sender].setdefault(sender, 0.0)
+        table = self.neighbor_tables.get(sender)
+        snap = message.snapshot
+        if self.INCREMENTAL and snap is not None:
+            stored = self._nbr_versions.get(sender)
+            if (stored is not None and stored == snap.prev_version) or (
+                snap.applies_to_empty and (table is None or len(table) == 0)
+            ):
+                # The held table is exactly the state the entries were
+                # diffed against (it *is* the sender's previous
+                # snapshot, or both are empty and the entries rebuild
+                # the whole tree), so adopting the sender's frozen
+                # result is identical to replaying the entries.
+                self.neighbor_tables[sender] = snap
+                self.nbr_distances[sender] = snap.dist
+                self._nbr_versions[sender] = snap.version
+                self._tables_dirty = True
+                self._note_mtu_dirty(sender, snap.changed_rows, message.entries)
+                if self._TRACK_ROWS and snap.changed_rows:
+                    self._note_rows_changed(snap.changed_rows)
+                return
+        # Entry path: replay the LSU onto a mutable copy.  This is the
+        # reference semantics, also taken on duplicated or reordered
+        # delivery where the snapshot's baseline doesn't match.
+        if table is None:
+            table = self.neighbor_tables[sender] = TopologyTable()
+        elif isinstance(table, FrozenTree):
+            table = self.neighbor_tables[sender] = table.thaw()
+            self.nbr_distances[sender] = dict(self.nbr_distances[sender])
+            self._nbr_versions.pop(sender, None)
+        old = self.nbr_distances.get(sender)
+        if self.INCREMENTAL and old is not None:
+            changed, changed_nodes = table.apply_incremental(
+                message.entries, sender, old
+            )
+            if not changed:
+                # Every entry was a no-op on the table, so the sender's
+                # distances — and MTU's inputs — are exactly as before.
+                return
+            self._tables_dirty = True
+            if changed_nodes is not None:
+                # ``old`` was patched in place and ``changed_nodes``
+                # covers every destination whose row differs.
+                self._note_mtu_dirty(sender, changed_nodes, message.entries)
+                if self._TRACK_ROWS and changed_nodes:
+                    self._note_rows_changed(changed_nodes)
+                return
+            # The post-apply table is transiently not a tree rooted at
+            # the sender; fall through to the full recompute + row diff.
+        else:
+            changed = table.apply(message.entries)
+            if not changed and self.INCREMENTAL:
+                return
+            self._tables_dirty = True
+        # No exact row diff is tracked on this path (first LSU from a
+        # neighbor, non-tree transients, reference mode): rebuild the
+        # carried MTU state from scratch instead.
+        self._mtu_full = True
+        new = table.distances_from(sender)
+        new.setdefault(sender, 0.0)
+        self.nbr_distances[sender] = new
+        if self._TRACK_ROWS:
+            if old is None:
+                self._note_rows_changed(new)
+            else:
+                self._note_rows_changed(
+                    j
+                    for j in old.keys() | new.keys()
+                    if old.get(j) != new.get(j)
+                )
+
+    def _note_mtu_dirty(self, sender: NodeId, rows, entries) -> None:
+        """Record what an applied LSU invalidates in the carried MTU state.
+
+        ``rows`` (destinations whose distance through ``sender`` moved)
+        re-open the preferred-neighbor choice; entry heads whose current
+        preferred neighbor *is* the sender had their copied link group
+        edited in place, so the group is re-sourced even when the choice
+        itself stands.
+        """
+        if not self._best_dirty:
+            self._dirty_sender = sender
+        elif self._dirty_sender != sender:
+            self._dirty_sender = None
+        self._best_dirty.update(rows)
+        best_nbr = self._best_nbr
+        group_dirty = self._group_dirty
+        for entry in entries:
+            head = entry.head
+            if best_nbr.get(head) == sender:
+                group_dirty.add(head)
+
+    def _note_rows_changed(self, destinations) -> None:
+        """Hook: destinations whose neighbor-table rows changed (MPDA)."""
+
+    def _links_changed(self) -> None:
+        """The adjacent-link *set* changed: every destination's
+        preferred-neighbor choice may move, so the carried MTU state is
+        rebuilt from scratch (MPDA's override also dirties the LFI
+        successor sets)."""
+        self._mtu_full = True
+
+    def _distances_recomputed(self) -> None:
+        """Hook: MTU recomputed ``self.distances`` (MPDA re-arms FD)."""
 
     def _after_ntu(self, lsu_sender: NodeId | None) -> None:
         """The tail of procedure PDA: MTU, then flood any differences."""
@@ -144,52 +323,265 @@ class PDARouter:
 
     def _universe(self) -> list[NodeId]:
         """Every node this router has heard of."""
-        known: dict[NodeId, None] = {self.node_id: None}
-        for nbr in self.link_costs:
-            known[nbr] = None
+        # Only the keys (and their first-seen order) matter; merging the
+        # tables' internal mappings directly skips per-table dict
+        # materialization on this per-MTU path.
+        known: dict[NodeId, object] = {self.node_id: None}
+        known.update(self.link_costs)
         for table in self.neighbor_tables.values():
-            for node in table.nodes():
-                known[node] = None
+            known.update(table.nodes_map_view())
         return list(known)
 
+    def _universe_rank(self, universe) -> dict[NodeId, int]:
+        """Tie-break ranks for ``universe``, cached across MTU runs.
+
+        Rank comparison is equivalent to the repr order the paper's
+        "lower address" tie rule uses (see :func:`rank_nodes`); the map
+        is rebuilt only when the universe gains or loses nodes.
+        """
+        nodes = frozenset(universe)
+        if nodes != self._rank_nodes:
+            self._rank = rank_nodes(nodes)
+            self._rank_nodes = nodes
+        return self._rank
+
     def _mtu(self):
-        """MTU (Fig. 3): rebuild the main table; return the LSU diff."""
+        """MTU (Fig. 3): rebuild the main table; return the LSU diff.
+
+        MTU is a pure function of the adjacent-link costs and the
+        neighbor tables, and running it twice on the same inputs yields
+        the same tree and an empty diff — so when nothing marked those
+        inputs dirty the whole computation is skipped (the counter still
+        advances: a skipped run is still a protocol-level MTU event).
+        """
         self.mtu_runs += 1
+        if not self._tables_dirty and self.INCREMENTAL:
+            return ()
+        self._tables_dirty = False
         old = self.main_table
         universe = self._universe()
+        rank = self._universe_rank(universe)
+        me = self.node_id
+        link_costs = self.link_costs
+        up = [n for n in link_costs if link_costs[n] < INFINITY]
 
-        # Steps 3-4: preferred neighbor per head node, copy its links.
+        if self._mtu_full or not self.INCREMENTAL:
+            self._mtu_rebuild(up, rank)
+        else:
+            self._mtu_refresh(up, rank)
+
+        # Steps 6-8 fused: run Dijkstra, then a single pass over the
+        # predecessor map yields the tree's per-head link groups, the
+        # restricted distance view, and the ADD/CHANGE half of the diff
+        # at once (a link (h, t) is in the tree iff ``pred[t] == h``, so
+        # no intermediate tree dict is materialized).
+        cand = self._cand
+        dist, pred = dijkstra(cand, me, nodes=universe, rank=rank, adj=self._adj)
+        old_links = old.links_view()
+        old_get = old_links.get
+        by_head: dict[NodeId, dict] = {}
+        group_of = by_head.get
+        flood: dict[NodeId, float] = {me: 0.0}
+        entries: list[LinkEntry] = []
+        n_links = 0
+        for t, h in pred.items():
+            if h is None:
+                continue
+            link = (h, t)
+            cost = cand[link]
+            group = group_of(h)
+            if group is None:
+                group = by_head[h] = {}
+            group[link] = cost
+            flood[t] = dist[t]
+            n_links += 1
+            old_cost = old_get(link)
+            if old_cost is None:
+                entries.append(LinkEntry(EntryOp.ADD, h, t, cost))
+            elif old_cost != cost:
+                entries.append(LinkEntry(EntryOp.CHANGE, h, t, cost))
+        pred_get = pred.get
+        for link in old_links:
+            if pred_get(link[1]) != link[0]:
+                entries.append(LinkEntry(EntryOp.DELETE, *link))
+        changes = tuple(entries)
+        if changes:
+            # Patching the main table with its own diff entries (all
+            # touching distinct links) lands it exactly at the tree, at
+            # O(changes) instead of an O(tree) rebuild.
+            old.apply(changes)
+            if self.INCREMENTAL:
+                # Freeze the new tree for flooding.  The previous
+                # restricted view had one entry (self) iff the previous
+                # tree was empty, in which case the diff entries also
+                # reconstruct the tree from scratch.
+                prev_flood = self._flood_dist
+                prev_get = prev_flood.get
+                changed_rows = {
+                    j for j, v in flood.items() if prev_get(j) != v
+                }
+                for j in prev_flood:
+                    if j not in flood:
+                        changed_rows.add(j)
+                prev_version = self._table_version
+                self._table_version += 1
+                self._snap = FrozenTree(
+                    version=self._table_version,
+                    prev_version=prev_version,
+                    applies_to_empty=len(prev_flood) == 1,
+                    dist=flood,
+                    changed_rows=changed_rows,
+                    by_head=by_head,
+                    nodes=flood,
+                    n_links=n_links,
+                )
+                self._flood_dist = flood
+        self.distances = dist
+        self._distances_recomputed()
+        return changes
+
+    def _mtu_rebuild(self, up, rank) -> None:
+        """MTU steps 3-5 from scratch; prime the incremental state.
+
+        Steps 3-4: preferred neighbor per head node, copy its links.
+        Iterating each up neighbor's distance rows (instead of probing
+        every neighbor for every universe node) gives the same
+        (min value, then lowest-address neighbor) winner per node.
+        """
+        best_val: dict[NodeId, float] = {}
+        best_nbr: dict[NodeId, NodeId] = {}
+        link_costs = self.link_costs
+        for k in up:
+            lc = link_costs[k]
+            rows = self.nbr_distances.get(k)
+            if not rows:
+                continue
+            rank_k = rank[k]
+            for j, dist_kj in rows.items():
+                val = dist_kj + lc
+                cur = best_val.get(j)
+                if cur is None:
+                    best_val[j] = val
+                    best_nbr[j] = k
+                elif val < cur or (val == cur and rank_k < rank[best_nbr[j]]):
+                    best_val[j] = val
+                    best_nbr[j] = k
+
+        # The candidate map is grouped by head as it is built (each
+        # preferred neighbor contributes exactly the links leaving one
+        # head), so Dijkstra gets its adjacency for free instead of
+        # regrouping O(E) links every run.
         candidate: dict[tuple[NodeId, NodeId], float] = {}
-        up = [n for n in self.link_costs if self.link_costs[n] < INFINITY]
-        for j in universe:
-            if j == self.node_id:
+        adj: dict[NodeId, list[tuple[NodeId, float]]] = {}
+        me = self.node_id
+        tables = self.neighbor_tables
+        for j, k in best_nbr.items():
+            if j == me or best_val[j] == INFINITY:
                 continue
-            best: NodeId | None = None
-            best_val = INFINITY
-            for k in up:
-                dist_kj = self.nbr_distances.get(k, {}).get(j, INFINITY)
-                val = dist_kj + self.link_costs[k]
-                if val < best_val or (
-                    val == best_val
-                    and best is not None
-                    and repr(k) < repr(best)
-                ):
-                    best, best_val = k, val
-            if best is None or best_val == INFINITY:
-                continue
-            candidate.update(self.neighbor_tables[best].links_with_head(j))
+            view = tables[k].links_with_head_view(j)
+            candidate.update(view)
+            adj[j] = [(tail, cost) for (_, tail), cost in view.items()]
 
         # Step 5: adjacent links override anything neighbors reported.
         for k in up:
-            candidate[(self.node_id, k)] = self.link_costs[k]
+            candidate[(me, k)] = link_costs[k]
+        adj[me] = [(k, link_costs[k]) for k in up]
 
-        # Steps 6-7: keep only the shortest-path tree; update distances.
-        dist, tree = dijkstra_tree(candidate, self.node_id, nodes=universe)
-        self.main_table = TopologyTable(tree)
-        self.distances = dist
+        self._best_val = best_val
+        self._best_nbr = best_nbr
+        self._cand = candidate
+        self._adj = adj
+        self._best_dirty.clear()
+        self._group_dirty.clear()
+        self._mtu_full = False
 
-        # Step 8: differences to flood.
-        return old.diff(self.main_table)
+    def _mtu_refresh(self, up, rank) -> None:
+        """MTU steps 3-5, touching only destinations whose inputs moved.
+
+        ``_best_dirty`` holds every node whose merged-distance row
+        changed in some neighbor table since the last run; re-probing
+        just those rows reproduces the full argmin's winner because the
+        probe is a pure (value, lower-address) argmin over the same
+        inputs and untouched rows cannot have changed their entry.
+        ``_group_dirty`` holds nodes whose copied link group may differ
+        even with an unchanged winner (the winning neighbor re-announced
+        links leaving that head); their groups are spliced in place.
+        """
+        best_val, best_nbr = self._best_val, self._best_nbr
+        link_costs = self.link_costs
+        nbr_rows = self.nbr_distances
+        group_dirty = self._group_dirty
+        adj = self._adj
+        rows = [(k, nbr_rows.get(k), link_costs[k], rank[k]) for k in up]
+        # When every dirty row came from one sender, a destination whose
+        # current winner is a *different* neighbor only needs the
+        # sender's new value checked against the incumbent: the winner's
+        # own value is untouched, so unless the challenger beats it (or
+        # ties with a lower address) nothing changes.
+        ds = self._dirty_sender
+        if ds is not None and ds in link_costs:
+            ds_row = nbr_rows.get(ds)
+            ds_lc = link_costs[ds]
+            ds_rk = rank[ds]
+        else:
+            ds = None
+        for j in self._best_dirty:
+            if ds is not None:
+                w = best_nbr.get(j)
+                if w is not None and w != ds:
+                    d = ds_row.get(j) if ds_row else None
+                    if d is None:
+                        continue
+                    val = d + ds_lc
+                    bv = best_val[j]
+                    if val > bv or (val == bv and ds_rk > rank[w]):
+                        continue
+            bv = INFINITY
+            bk = None
+            br = 0
+            for k, row, lc, rk in rows:
+                if not row:
+                    continue
+                d = row.get(j)
+                if d is None:
+                    continue
+                val = d + lc
+                if bk is None or val < bv or (val == bv and rk < br):
+                    bv, bk, br = val, k, rk
+            prev = best_nbr.get(j)
+            if bk is None:
+                if prev is not None:
+                    del best_nbr[j]
+                    del best_val[j]
+                    group_dirty.add(j)
+            else:
+                best_val[j] = bv
+                best_nbr[j] = bk
+                # A winner flip changes which table the group is copied
+                # from; an INFINITY<->finite flip adds or removes the
+                # group even when the winner is unchanged.
+                if prev != bk or (j in adj) != (bv < INFINITY):
+                    group_dirty.add(j)
+        self._best_dirty = set()
+
+        cand = self._cand
+        tables = self.neighbor_tables
+        me = self.node_id
+        for j in group_dirty:
+            if j == me:
+                continue
+            old_adj = adj.pop(j, None)
+            if old_adj:
+                for tail, _ in old_adj:
+                    cand.pop((j, tail), None)
+            k = best_nbr.get(j)
+            if k is None or best_val[j] == INFINITY:
+                continue
+            view = tables[k].links_with_head_view(j)
+            if view:
+                cand.update(view)
+                adj[j] = [(tail, cost) for (_, tail), cost in view.items()]
+        self._group_dirty = set()
 
     # ------------------------------------------------------------------
     # message plumbing
@@ -200,12 +592,21 @@ class PDARouter:
         self.entries_sent += len(message.entries)
 
     def _broadcast(self, entries, ack_to: NodeId | None = None) -> None:
-        """Send ``entries`` to every up neighbor (ACK flag to ``ack_to``)."""
+        """Send ``entries`` to every up neighbor (ACK flag to ``ack_to``).
+
+        The snapshot rides along whenever the entries are the diff MTU
+        just flooded — ``_broadcast`` is only reached straight after a
+        changed MTU, which refreshed ``_snap`` to the post-diff tree.
+        """
+        snapshot = self._snap if self.INCREMENTAL else None
         for nbr in self.link_costs:
             self._send(
                 nbr,
                 LSUMessage(
-                    self.node_id, tuple(entries), ack=(nbr == ack_to)
+                    self.node_id,
+                    tuple(entries),
+                    ack=(nbr == ack_to),
+                    snapshot=snapshot,
                 ),
             )
 

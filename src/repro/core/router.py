@@ -36,7 +36,7 @@ from repro.core.lfi import lfi_successors
 from repro.core.mpda import MPDARouter
 from repro.core.spf import ecmp_successors, restrict_successors
 from repro.exceptions import RoutingError
-from repro.graph.shortest_paths import CostMap, bellman_ford
+from repro.graph.shortest_paths import CostMap, SharedSPF
 from repro.graph.topology import NodeId, Topology
 from repro.graph.validation import assert_loop_free
 
@@ -62,7 +62,16 @@ class MPRouting:
             Non-"lfi" rules are oracle mode only.
         damping: AH step damping (1.0 = the paper's heuristic).
         seed: delivery interleaving seed for protocol mode.
+        batch: "always" runs the vectorized IH/AH kernels, "never" the
+            scalar ones, "auto" (default) switches to the vectorized
+            path once the network has at least
+            :data:`BATCH_AUTO_THRESHOLD` (node, destination) pairs.
+            Both paths compute bit-identical parameters; the scalar one
+            doubles as the differential-test oracle.
     """
+
+    #: nodes x destinations above which batch="auto" vectorizes.
+    BATCH_AUTO_THRESHOLD = 1024
 
     def __init__(
         self,
@@ -74,9 +83,12 @@ class MPRouting:
         path_rule: str = "lfi",
         damping: float = 1.0,
         seed: int = 0,
+        batch: str = "auto",
     ) -> None:
         if mode not in ("oracle", "protocol"):
             raise RoutingError(f"unknown routing mode {mode!r}")
+        if batch not in ("auto", "always", "never"):
+            raise RoutingError(f"unknown batch mode {batch!r}")
         if path_rule not in ("lfi", "ecmp", "ecmp-hop"):
             raise RoutingError(f"unknown path rule {path_rule!r}")
         if path_rule != "lfi" and mode != "oracle":
@@ -85,6 +97,7 @@ class MPRouting:
                 "use mode='oracle'"
             )
         self.path_rule = path_rule
+        self.batch = batch
         self.topo = topo
         self.destinations = list(destinations)
         self.successor_limit = successor_limit
@@ -126,13 +139,17 @@ class MPRouting:
         if self.path_rule == "ecmp-hop":
             # OSPF-like: route on hop counts, ignore measured costs.
             costs = {link_id: 1.0 for link_id in costs}
+        # One reversed-adjacency setup shared by every destination (and
+        # by the successor rule, which takes the distances instead of
+        # re-running its own bellman_ford per destination).
+        spf = SharedSPF(costs, nodes=self.topo.nodes)
         for dest in self.destinations:
-            dist = bellman_ford(costs, dest, nodes=self.topo.nodes)
+            dist = spf.distances_to(dest)
             self._distance_tables[dest] = dist
             if self.path_rule in ("ecmp", "ecmp-hop"):
-                successors = ecmp_successors(self.topo, costs, dest)
+                successors = ecmp_successors(self.topo, costs, dest, dist=dist)
             else:
-                successors = lfi_successors(self.topo, costs, dest)
+                successors = lfi_successors(self.topo, costs, dest, dist=dist)
             self._successors[dest] = self._restrict(successors, dist, costs)
             assert_loop_free(self._successors[dest], dest)
 
@@ -188,8 +205,22 @@ class MPRouting:
             )
 
     def _apply_allocation(self, local_costs: CostMap) -> None:
+        batched = self.batch == "always" or (
+            self.batch == "auto"
+            and len(self.topo.nodes) * len(self.destinations)
+            >= self.BATCH_AUTO_THRESHOLD
+        )
         for node in self.topo.nodes:
             table = self.allocations[node]
+            if batched:
+                table.update_many(
+                    [
+                        (dest, self._distance_via(node, dest, local_costs))
+                        for dest in self.destinations
+                        if node != dest
+                    ]
+                )
+                continue
             for dest in self.destinations:
                 if node == dest:
                     continue

@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections.abc import Mapping
 
 from repro.core.lfi import shortest_successor
-from repro.graph.shortest_paths import CostMap
+from repro.graph.shortest_paths import CostMap, bellman_ford
 from repro.graph.topology import NodeId, Topology
 
 
@@ -29,7 +29,11 @@ def single_path_successors(
 
 
 def ecmp_successors(
-    topo: Topology, costs: CostMap, destination: NodeId
+    topo: Topology,
+    costs: CostMap,
+    destination: NodeId,
+    *,
+    dist: Mapping[NodeId, float] | None = None,
 ) -> dict[NodeId, list[NodeId]]:
     """Equal-cost multipath successor sets (the OSPF rule).
 
@@ -37,11 +41,12 @@ def ecmp_successors(
     multiple paths to a destination only when they have the same length"
     — i.e. neighbor *k* qualifies only when :math:`D^k_j + l_{ik}`
     *equals* the shortest distance :math:`D^i_j`.  Always a subset of
-    the LFI multipath set, so it is loop-free too.
+    the LFI multipath set, so it is loop-free too.  ``dist`` may supply
+    precomputed all-sources distances to ``destination`` (one shared-SPF
+    pass amortized over destinations); when None it is computed here.
     """
-    from repro.graph.shortest_paths import bellman_ford
-
-    dist = bellman_ford(costs, destination, nodes=topo.nodes)
+    if dist is None:
+        dist = bellman_ford(costs, destination, nodes=topo.nodes)
     successors: dict[NodeId, list[NodeId]] = {}
     for node in topo.nodes:
         if node == destination:

@@ -38,6 +38,7 @@ seed) pair fully determines a run.
 from __future__ import annotations
 
 import random
+from bisect import insort
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -112,28 +113,46 @@ class PerfectChannel(Transport):
     Per-link FIFO queues, no loss, no reordering, no delay: exactly the
     historical driver behavior (trace-for-trace identical under the same
     driver seed).
+
+    The non-empty-queue list is maintained incrementally: a link enters
+    the list (at its attach-order position, keeping the order the driver
+    seeds its interleaving RNG against) when its queue goes non-empty
+    and leaves when it drains, so :meth:`busy_links` is O(1) instead of
+    a scan over every queue per delivered frame.
     """
 
     def __init__(self) -> None:
         self._queues: dict[LinkId, deque] = {}
+        self._busy: list[LinkId] = []
+        self._order: dict[LinkId, int] = {}
         self.sent = 0
         self.delivered = 0
 
     def attach(self, links: list[LinkId]) -> None:
         self._queues = {link: deque() for link in links}
+        self._order = {link: i for i, link in enumerate(self._queues)}
+        self._busy = []
 
     def send(self, link: LinkId, message: object) -> None:
         queue = self._queues.get(link)
         if queue is not None:
+            if not queue:
+                insort(self._busy, link, key=self._order.__getitem__)
             queue.append(message)
             self.sent += 1
 
     def busy_links(self) -> list[LinkId]:
-        return [link for link, queue in self._queues.items() if queue]
+        # The driver's (internal, not mutated) view; identical contents
+        # and order to scanning the queues in attach order.
+        return self._busy
 
     def pop(self, link: LinkId) -> list[object]:
         self.delivered += 1
-        return [self._queues[link].popleft()]
+        queue = self._queues[link]
+        message = queue.popleft()
+        if not queue:
+            self._busy.remove(link)
+        return [message]
 
     def pending(self) -> int:
         return sum(len(queue) for queue in self._queues.values())
@@ -142,8 +161,11 @@ class PerfectChannel(Transport):
         pass  # whenever pending, so the driver has no reason to tick
 
     def link_down(self, a: object, b: object) -> None:
-        self._queues[(a, b)].clear()
-        self._queues[(b, a)].clear()
+        for link in ((a, b), (b, a)):
+            queue = self._queues[link]
+            if queue:
+                queue.clear()
+                self._busy.remove(link)
 
     def link_up(self, a: object, b: object) -> None:
         pass

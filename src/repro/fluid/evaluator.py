@@ -72,12 +72,53 @@ def _fractions(
     }
 
 
+class _EvalCache:
+    """Per-evaluation memo of fractions and successor orders.
+
+    One :func:`evaluate` call asks for the same validated fractions from
+    ``link_flows``, ``flow_delays`` and the topological orders several
+    times; ``phi`` does not change within an evaluation, so memoizing
+    these pure lookups returns bit-identical values.
+    """
+
+    __slots__ = ("fractions", "orders")
+
+    def __init__(self) -> None:
+        self.fractions: dict[tuple[NodeId, NodeId], dict[NodeId, float]] = {}
+        self.orders: dict[NodeId, list[NodeId]] = {}
+
+
+def _cached_fractions(
+    phi: Phi, node: NodeId, destination: NodeId, cache: _EvalCache | None
+) -> dict[NodeId, float]:
+    if cache is None:
+        return _fractions(phi, node, destination)
+    key = (node, destination)
+    try:
+        return cache.fractions[key]
+    except KeyError:
+        out = cache.fractions[key] = _fractions(phi, node, destination)
+        return out
+
+
+def _successor_order(
+    phi: Phi, destination: NodeId, cache: _EvalCache | None
+) -> list[NodeId]:
+    if cache is not None and destination in cache.orders:
+        return cache.orders[destination]
+    successors = destination_successors(phi, destination, _cache=cache)
+    order = successor_graph_order(successors, destination)
+    if cache is not None:
+        cache.orders[destination] = order
+    return order
+
+
 def destination_successors(
-    phi: Phi, destination: NodeId
+    phi: Phi, destination: NodeId, *, _cache: _EvalCache | None = None
 ) -> dict[NodeId, list[NodeId]]:
     """Successor sets implied by the routing parameters (Eq. 9)."""
     return {
-        node: list(_fractions(phi, node, destination))
+        node: list(_cached_fractions(phi, node, destination, _cache))
         for node in phi
         if node != destination
     }
@@ -87,6 +128,8 @@ def node_flows(
     phi: Phi,
     rates: Mapping[NodeId, float],
     destination: NodeId,
+    *,
+    _cache: _EvalCache | None = None,
 ) -> dict[NodeId, float]:
     """Node flows :math:`t^i_j` for one destination (Eq. 1), exact on DAGs.
 
@@ -99,8 +142,7 @@ def node_flows(
         LoopError: if the successor graph for ``destination`` is cyclic.
         RoutingError: if traffic reaches a router with no successors.
     """
-    successors = destination_successors(phi, destination)
-    order = successor_graph_order(successors, destination)
+    order = _successor_order(phi, destination, _cache)
 
     flows: dict[NodeId, float] = {node: 0.0 for node in order}
     for node, rate in rates.items():
@@ -118,7 +160,7 @@ def node_flows(
         t = flows[node]
         if t <= FLOW_EPSILON:
             continue
-        fractions = _fractions(phi, node, destination)
+        fractions = _cached_fractions(phi, node, destination, _cache)
         if not fractions:
             raise RoutingError(
                 f"router {node!r} carries {t:.3g} pkt/s for {destination!r} "
@@ -184,16 +226,19 @@ def node_flows_iterative(
     )
 
 
-def link_flows(phi: Phi, traffic: TrafficMatrix) -> dict[LinkId, float]:
+def link_flows(
+    phi: Phi, traffic: TrafficMatrix, *, _cache: _EvalCache | None = None
+) -> dict[LinkId, float]:
     """Link flows :math:`f_{ik}` (Eq. 2) summed over all destinations."""
     flows: dict[LinkId, float] = {}
     for destination in traffic.destinations():
         rates = traffic.rates_to(destination)
-        node_t = node_flows(phi, rates, destination)
+        node_t = node_flows(phi, rates, destination, _cache=_cache)
         for node, t in node_t.items():
             if node == destination or t <= FLOW_EPSILON:
                 continue
-            for nbr, fraction in _fractions(phi, node, destination).items():
+            fractions = _cached_fractions(phi, node, destination, _cache)
+            for nbr, fraction in fractions.items():
                 link_id = (node, nbr)
                 flows[link_id] = flows.get(link_id, 0.0) + t * fraction
     return flows
@@ -203,6 +248,8 @@ def flow_delays(
     phi: Phi,
     traffic: TrafficMatrix,
     per_unit_delay: Mapping[LinkId, float],
+    *,
+    _cache: _EvalCache | None = None,
 ) -> dict[str, float]:
     """Expected end-to-end delay of each flow, in seconds.
 
@@ -217,7 +264,7 @@ def flow_delays(
         destination = flow.destination
         if destination not in cache:
             cache[destination] = _remaining_delays(
-                phi, destination, per_unit_delay
+                phi, destination, per_unit_delay, _cache=_cache
             )
         remaining = cache[destination]
         if flow.source not in remaining:
@@ -233,14 +280,15 @@ def _remaining_delays(
     phi: Phi,
     destination: NodeId,
     per_unit_delay: Mapping[LinkId, float],
+    *,
+    _cache: _EvalCache | None = None,
 ) -> dict[NodeId, float]:
-    successors = destination_successors(phi, destination)
-    order = successor_graph_order(successors, destination)
+    order = _successor_order(phi, destination, _cache)
     remaining: dict[NodeId, float] = {destination: 0.0}
     for node in reversed(order):
         if node == destination:
             continue
-        fractions = _fractions(phi, node, destination)
+        fractions = _cached_fractions(phi, node, destination, _cache)
         if not fractions:
             continue  # carries no traffic; skip rather than invent a value
         total = 0.0
@@ -308,12 +356,13 @@ def evaluate(
     """
     traffic.validate_against(topo)
     model = delay_model or DelayModel.for_topology(topo)
-    f = link_flows(phi, traffic)
+    cache = _EvalCache()
+    f = link_flows(phi, traffic, _cache=cache)
     total = model.total_delay(f, strict=strict)
     rate = traffic.total_rate()
     average = total / rate if rate > 0 else 0.0
     per_unit = model.per_unit_delays(f, strict=strict)
-    per_flow = flow_delays(phi, traffic, per_unit)
+    per_flow = flow_delays(phi, traffic, per_unit, _cache=cache)
     utilizations = {
         link_id: model[link_id].utilization(value)
         for link_id, value in f.items()

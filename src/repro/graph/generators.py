@@ -147,18 +147,21 @@ def _join_components(
         if ra != rb:
             component[max(ra, rb)] = min(ra, rb)
     while True:
-        roots = sorted({find(node) for node in nodes})
+        # No unions happen during the scan, so the root labels are
+        # constant through it — resolve them once per pass instead of
+        # per pair (the pair order, and thus tie-breaking, is unchanged).
+        labels = {node: find(node) for node in nodes}
+        roots = sorted(set(labels.values()))
         if len(roots) == 1:
             return
         main = roots[0]
+        main_nodes = [node for node in nodes if labels[node] == main]
+        other_nodes = [node for node in nodes if labels[node] != main]
         best = None
-        for node in nodes:
-            if find(node) != main:
-                continue
-            for other in nodes:
-                if find(other) == main:
-                    continue
-                d = _euclidean(points[node], points[other])
+        for node in main_nodes:
+            p = points[node]
+            for other in other_nodes:
+                d = _euclidean(p, points[other])
                 if best is None or d < best[0]:
                     best = (d, node, other)
         assert best is not None

@@ -49,11 +49,24 @@ def _tie_key(node: NodeId) -> str:
     return repr(node)
 
 
+def rank_nodes(nodes) -> dict[NodeId, int]:
+    """Integer ranks equivalent to the repr tie order.
+
+    Comparing ``rank[a] < rank[b]`` is exactly ``repr(a) < repr(b)`` for
+    nodes in the map, but each comparison is an int compare instead of a
+    repr call plus a string compare — the protocol hot path builds one
+    rank map per router and reuses it across Dijkstra runs.
+    """
+    return {node: i for i, node in enumerate(sorted(nodes, key=repr))}
+
+
 def dijkstra(
     costs: CostMap,
     source: NodeId,
     *,
     nodes: list[NodeId] | None = None,
+    rank: Mapping[NodeId, int] | None = None,
+    adj: Mapping[NodeId, list[tuple[NodeId, float]]] | None = None,
 ) -> tuple[dict[NodeId, float], dict[NodeId, NodeId | None]]:
     """Single-source shortest paths.
 
@@ -62,47 +75,85 @@ def dijkstra(
         source: the root node.
         nodes: optional extra node universe; nodes unreachable from
             ``source`` get distance :data:`INFINITY` and predecessor None.
+        rank: optional precomputed :func:`rank_nodes` map covering every
+            node of the graph; replaces per-comparison repr calls with
+            int compares without changing any tie outcome.
+        adj: optional out-adjacency for ``costs``, exactly as
+            :func:`_adjacency` would build it (callers that already hold
+            the links grouped by head skip the per-run O(E) regrouping;
+            costs must then be pre-validated non-negative).
 
     Returns:
         ``(dist, pred)`` where ``dist[j]`` is the cost of the shortest path
         ``source -> j`` and ``pred[j]`` the predecessor of ``j`` on it.
     """
-    adj = _adjacency(costs)
-    universe: dict[NodeId, None] = {source: None}
-    for node in adj:
-        universe[node] = None
+    if adj is None:
+        adj = _adjacency(costs)
+    # dict.fromkeys + update run at C speed; the protocol hot path calls
+    # this once per changed MTU, so the O(V) setup cost matters as much
+    # as the heap loop.
+    dist: dict[NodeId, float] = {source: INFINITY}
+    dist.update(dict.fromkeys(adj, INFINITY))
     if nodes is not None:
-        for node in nodes:
-            universe[node] = None
-
-    dist: dict[NodeId, float] = {node: INFINITY for node in universe}
-    pred: dict[NodeId, NodeId | None] = {node: None for node in universe}
+        dist.update(dict.fromkeys(nodes, INFINITY))
+    pred: dict[NodeId, NodeId | None] = dict.fromkeys(dist)
     dist[source] = 0.0
 
-    counter = itertools.count()
-    heap: list[tuple[float, str, int, NodeId]] = [
-        (0.0, _tie_key(source), next(counter), source)
-    ]
-    done: set[NodeId] = set()
-    while heap:
-        d, _, _, node = heapq.heappop(heap)
-        if node in done:
-            continue
-        done.add(node)
-        for nbr, cost in adj.get(node, ()):
-            alt = d + cost
-            if alt < dist[nbr] or (
-                alt == dist[nbr]
-                and pred[nbr] is not None
-                and _tie_key(node) < _tie_key(pred[nbr])
-            ):
-                # Strict improvement, or an equal-cost path through a
-                # lower-address predecessor: prefer it so every router
-                # resolves ties identically.
-                if alt < dist[nbr]:
-                    heapq.heappush(heap, (alt, _tie_key(nbr), next(counter), nbr))
-                dist[nbr] = alt
-                pred[nbr] = node
+    tie = _tie_key if rank is None else rank.__getitem__
+    # Lazy deletion: every push strictly lowers a node's label, so the
+    # first pop of a node carries its final distance and any later pop
+    # satisfies d > dist[node].  (The push counter breaks comparison
+    # ties only when tie keys can collide, i.e. the repr fallback.)
+    heap: list[tuple]
+    push = heapq.heappush
+    pop = heapq.heappop
+    adj_get = adj.get
+    if rank is None:
+        counter = itertools.count()
+        heap = [(0.0, tie(source), next(counter), source)]
+        while heap:
+            d, _, _, node = pop(heap)
+            if d > dist[node]:
+                continue
+            node_key = tie(node)
+            for nbr, cost in adj_get(node, ()):
+                alt = d + cost
+                cur = dist[nbr]
+                if alt < cur:
+                    # Strict improvement.
+                    push(heap, (alt, tie(nbr), next(counter), nbr))
+                    dist[nbr] = alt
+                    pred[nbr] = node
+                elif (
+                    alt == cur
+                    and pred[nbr] is not None
+                    and node_key < tie(pred[nbr])
+                ):
+                    # An equal-cost path through a lower-address
+                    # predecessor: prefer it so every router resolves
+                    # ties identically.
+                    pred[nbr] = node
+    else:
+        # Ranks are unique ints, so (distance, rank) alone orders the
+        # heap totally — no counter, smaller tuples.
+        heap = [(0.0, tie(source), source)]
+        while heap:
+            d, node_key, node = pop(heap)
+            if d > dist[node]:
+                continue
+            for nbr, cost in adj_get(node, ()):
+                alt = d + cost
+                cur = dist[nbr]
+                if alt < cur:
+                    push(heap, (alt, tie(nbr), nbr))
+                    dist[nbr] = alt
+                    pred[nbr] = node
+                elif (
+                    alt == cur
+                    and pred[nbr] is not None
+                    and node_key < tie(pred[nbr])
+                ):
+                    pred[nbr] = node
     return dist, pred
 
 
@@ -111,6 +162,8 @@ def dijkstra_tree(
     source: NodeId,
     *,
     nodes: list[NodeId] | None = None,
+    rank: Mapping[NodeId, int] | None = None,
+    adj: Mapping[NodeId, list[tuple[NodeId, float]]] | None = None,
 ) -> tuple[dict[NodeId, float], dict[LinkId, float]]:
     """Shortest-path tree rooted at ``source``.
 
@@ -118,13 +171,85 @@ def dijkstra_tree(
     costs — exactly what PDA's MTU step retains from the merged topology
     ("remove those links that are not part of the shortest path tree").
     """
-    dist, pred = dijkstra(costs, source, nodes=nodes)
+    dist, pred = dijkstra(costs, source, nodes=nodes, rank=rank, adj=adj)
     tree: dict[LinkId, float] = {}
+    cost_of = costs.__getitem__
     for node, parent in pred.items():
-        if parent is None:
-            continue
-        tree[(parent, node)] = costs[(parent, node)]
+        if parent is not None:
+            link = (parent, node)
+            tree[link] = cost_of(link)
     return dist, tree
+
+
+class SharedSPF:
+    """Shared-heap multi-destination shortest paths *to* each destination.
+
+    The routing framework is destination-oriented (Eq. 13): it needs
+    :math:`D^i_j` for every source *i* and each active destination *j*.
+    :func:`bellman_ford` answers that one destination at a time, but
+    rebuilds the reversed adjacency and the node universe on every call —
+    |D| times the same O(E) setup.  This class builds both once and runs
+    only the label-setting pass per destination, so ``update_routes``
+    costs one traversal's worth of setup rather than |D|.
+
+    Results are bit-for-bit identical to :func:`bellman_ford`: the heap
+    pop order among equal labels differs, but label-setting with strict
+    improvement assigns every node the same float distance (the same
+    additive chain along its shortest path) regardless of that order.
+    """
+
+    def __init__(
+        self, costs: CostMap, *, nodes: list[NodeId] | None = None
+    ) -> None:
+        adj_in: dict[NodeId, list[tuple[NodeId, float]]] = {}
+        universe: dict[NodeId, None] = {}
+        for (head, tail), cost in costs.items():
+            if cost < 0:
+                raise RoutingError(
+                    f"negative link cost {cost!r} on {head!r}->{tail!r}"
+                )
+            adj_in.setdefault(tail, []).append((head, cost))
+            universe[head] = None
+            universe[tail] = None
+        if nodes is not None:
+            for node in nodes:
+                universe[node] = None
+        self._adj_in = adj_in
+        self._universe = universe
+
+    def distances_to(self, destination: NodeId) -> dict[NodeId, float]:
+        """All-sources distance to ``destination`` (one heap pass)."""
+        dist = dict.fromkeys(self._universe, INFINITY)
+        dist[destination] = 0.0
+        adj_in = self._adj_in
+        counter = itertools.count()
+        heap: list[tuple[float, int, NodeId]] = [(0.0, next(counter), destination)]
+        done: set[NodeId] = set()
+        while heap:
+            d, _, node = heapq.heappop(heap)
+            if node in done:
+                continue
+            done.add(node)
+            for nbr, cost in adj_in.get(node, ()):
+                alt = d + cost
+                if alt < dist[nbr]:
+                    dist[nbr] = alt
+                    heapq.heappush(heap, (alt, next(counter), nbr))
+        return dist
+
+
+def multi_destination_distances(
+    costs: CostMap,
+    destinations,
+    *,
+    nodes: list[NodeId] | None = None,
+) -> dict[NodeId, dict[NodeId, float]]:
+    """``dist[j][i]`` = distance i -> j for each destination ``j``.
+
+    One :class:`SharedSPF` setup amortized over all destinations.
+    """
+    spf = SharedSPF(costs, nodes=nodes)
+    return {dest: spf.distances_to(dest) for dest in destinations}
 
 
 def bellman_ford(
@@ -136,41 +261,15 @@ def bellman_ford(
     """All-sources distance *to* ``destination`` (Eq. 13 of the paper).
 
     This is the destination-oriented form :math:`D_j^i = \\min_k
-    (D_j^k + l_k^i)` that the routing framework is written in.
+    (D_j^k + l_k^i)` that the routing framework is written in.  With
+    non-negative costs the label-setting (Dijkstra) method used by
+    :class:`SharedSPF` solves the same equation exactly; callers that
+    need many destinations over one cost map should hold a
+    :class:`SharedSPF` instead of calling this in a loop.
     """
-    adj_in: dict[NodeId, list[tuple[NodeId, float]]] = {}
-    universe: dict[NodeId, None] = {destination: None}
-    for (head, tail), cost in costs.items():
-        if cost < 0:
-            raise RoutingError(
-                f"negative link cost {cost!r} on {head!r}->{tail!r}"
-            )
-        adj_in.setdefault(tail, []).append((head, cost))
-        universe[head] = None
-        universe[tail] = None
-    if nodes is not None:
-        for node in nodes:
-            universe[node] = None
-
-    dist = {node: INFINITY for node in universe}
-    dist[destination] = 0.0
-    # Dijkstra on the reversed graph; named bellman_ford for the equation it
-    # solves, but with non-negative costs the label-setting method is exact.
-    counter = itertools.count()
-    heap: list[tuple[float, str, int, NodeId]] = [
-        (0.0, _tie_key(destination), next(counter), destination)
-    ]
-    done: set[NodeId] = set()
-    while heap:
-        d, _, _, node = heapq.heappop(heap)
-        if node in done:
-            continue
-        done.add(node)
-        for nbr, cost in adj_in.get(node, ()):
-            alt = d + cost
-            if alt < dist[nbr]:
-                dist[nbr] = alt
-                heapq.heappush(heap, (alt, _tie_key(nbr), next(counter), nbr))
+    spf = SharedSPF(costs, nodes=nodes)
+    dist = spf.distances_to(destination)
+    dist.setdefault(destination, 0.0)
     return dist
 
 

@@ -32,19 +32,27 @@ class _ScheduledEvent:
     seq: int
     callback: Callback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Returned by :meth:`Engine.schedule`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(self, event: _ScheduledEvent, engine: "Engine") -> None:
         self._event = event
+        self._engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled:
+            event.cancelled = True
+            if not event.fired:
+                # The tombstone stays in the heap (lazy deletion) but no
+                # longer counts as pending work.
+                self._engine._live -= 1
 
     @property
     def time(self) -> float:
@@ -71,6 +79,7 @@ class Engine:
         self._heap: list[_ScheduledEvent] = []
         self._seq = itertools.count()
         self.processed = 0
+        self._live = 0  # scheduled, not yet fired, not cancelled
 
     def schedule(
         self, delay: float, callback: Callback, *, tier: int = 0
@@ -88,9 +97,17 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time!r}, now is {self.now!r}"
             )
+        heap = self._heap
+        if len(heap) > 64 and len(heap) > 2 * self._live:
+            # Mostly tombstones: compact before growing further.  The
+            # total order on (time, tier, seq) is unchanged, so pop
+            # order after heapify is identical to lazy-deletion order.
+            heap[:] = [e for e in heap if not e.cancelled]
+            heapq.heapify(heap)
         event = _ScheduledEvent(time, tier, next(self._seq), callback)
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        heapq.heappush(heap, event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def every(
         self,
@@ -140,6 +157,8 @@ class Engine:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.fired = True
+            self._live -= 1
             self.now = event.time
             event.callback()
             self.processed += 1
@@ -200,5 +219,5 @@ class Engine:
             self.now = until
 
     def pending(self) -> int:
-        """Events still scheduled (including cancelled tombstones)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Events scheduled and still due to fire (O(1) counter)."""
+        return self._live

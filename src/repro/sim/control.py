@@ -223,7 +223,11 @@ class FluidPlane:
     def advance(self, time, dt, traffic):
         ob = obs.current()
         with obs.phase(ob, "fluid.epoch"):
-            flows = link_flows(self.routing.phi(), traffic)
+            # One phi snapshot for the whole epoch: nothing touches the
+            # allocations between the flow and delay computations, and
+            # building the nested phi dict is itself O(n * dests).
+            phi = self.routing.phi()
+            flows = link_flows(phi, traffic)
             per_unit = self.queues.step(flows, dt)
             total_delay = sum(
                 flow * per_unit[link_id] for link_id, flow in flows.items()
@@ -235,7 +239,7 @@ class FluidPlane:
                 average_delay=(
                     total_delay / total_rate if total_rate > 0 else 0.0
                 ),
-                flow_delays=flow_delays(self.routing.phi(), traffic, per_unit),
+                flow_delays=flow_delays(phi, traffic, per_unit),
                 max_utilization=max(
                     (
                         self.model[link_id].utilization(flow)
