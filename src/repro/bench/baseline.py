@@ -29,7 +29,12 @@ from repro import obs
 from repro.bench.convergence import converge_experiment
 from repro.bench.overhead import overhead_experiment
 
-BASELINE_SCHEMA = "repro.bench/1"
+#: /2: per-run entries carry ``schema_version`` so additive gate
+#: extensions can be dispatched without re-reading the whole document.
+BASELINE_SCHEMA = "repro.bench/2"
+
+#: Version stamped into each ``converge.runs`` entry.
+BASELINE_ENTRY_VERSION = 2
 
 
 def collect_baseline(
@@ -84,7 +89,13 @@ def collect_baseline(
             "audit_slowdown": round(audited_s / plain_s, 2)
             if plain_s > 0
             else None,
-            "runs": [result.as_dict() for result in audited_results],
+            "runs": [
+                {
+                    "schema_version": BASELINE_ENTRY_VERSION,
+                    **result.as_dict(),
+                }
+                for result in audited_results
+            ],
             "plain_runs_match": [
                 plain.as_dict()["cold_messages"]
                 == audited.as_dict()["cold_messages"]

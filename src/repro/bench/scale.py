@@ -43,7 +43,14 @@ from repro.sim.control import QuasiStaticConfig, run
 from repro.sim.scenario import Scenario, cairn_scenario, with_failures
 from repro.units import mbps
 
-SCALE_SCHEMA = "repro.bench.scale/1"
+#: /2: entries carry ``schema_version`` plus causal wave statistics
+#: (``waves`` / ``max_wave_depth`` / ``mean_wave_depth``) — the
+#: wave-depth-vs-n curve testing the paper's bounded-wave claim.
+SCALE_SCHEMA = "repro.bench.scale/2"
+
+#: Version stamped into each entry; consumers can dispatch on it even
+#: when the entry travels without its enclosing document.
+SCALE_ENTRY_VERSION = 2
 
 #: The benchmark trajectory: CAIRN, then Waxman ISP graphs.
 SCALE_SIZES = (27, 50, 100, 300, 1000)
@@ -126,12 +133,15 @@ def scale_point(
         damping=0.5,
         seed=seed,
     )
-    with obs.observe(profile=True, profile_memory=profile_memory) as ob:
+    with obs.observe(
+        profile=True, profile_memory=profile_memory, causal=True
+    ) as ob:
         result = run(scenario, config)
         snapshot = ob.profiler.snapshot()
         phases = phase_profile(ob)
         report = render_profile(ob, top=top)
         gauges = ob.metrics.snapshot()["gauges"]
+        waves = list(ob.causal.waves)
 
     def gauge(name: str) -> float | None:
         series = gauges.get(name)
@@ -140,7 +150,9 @@ def scale_point(
         return series[""]["value"]
 
     stats = result.protocol_stats
+    depths = [wave["depth"] for wave in waves]
     return {
+        "schema_version": SCALE_ENTRY_VERSION,
         "name": scenario.topo.name,
         "generator": generator,
         "n": n,
@@ -156,6 +168,15 @@ def scale_point(
         "rss_max_kb": snapshot["rss_max_kb"],
         "py_heap_peak_kb": snapshot.get("py_heap_peak_kb"),
         "deliveries_per_second": gauge("protocol.deliveries_per_second"),
+        # Causal wave statistics: deterministic counts (seeded
+        # interleaving), gated exactly like the message counts.  The
+        # depth-vs-n curve is the machine-checked form of the paper's
+        # bounded-update-wave claim.
+        "waves": len(waves),
+        "max_wave_depth": max(depths, default=0),
+        "mean_wave_depth": (
+            round(sum(depths) / len(depths), 2) if depths else 0.0
+        ),
         "phases": {
             name: {
                 "total_s": round(entry["total_s"], 4),
@@ -201,8 +222,18 @@ def write_scale(path: str, document: dict[str, Any]) -> None:
 # ----------------------------------------------------------------------
 # the regression gate
 # ----------------------------------------------------------------------
-#: Deterministic count fields compared exactly.
-EXACT_FIELDS = ("nodes", "links", "messages", "lsu_sent", "mtu_runs")
+#: Deterministic count fields compared exactly.  A field absent from
+#: the baseline entry is skipped: additive extensions (new gate fields)
+#: must not invalidate committed baselines.
+EXACT_FIELDS = (
+    "nodes",
+    "links",
+    "messages",
+    "lsu_sent",
+    "mtu_runs",
+    "waves",
+    "max_wave_depth",
+)
 
 #: Resource fields compared within a factor; (field, default factor).
 #: 3x on time: the hot path is deterministic enough that anything past
@@ -244,6 +275,8 @@ def compare_scale(
             continue
         tag = f"n={n} ({entry['name']})"
         for field in EXACT_FIELDS:
+            if field not in base:
+                continue  # additive field, older baseline: tolerated
             if entry.get(field) != base.get(field):
                 problems.append(
                     f"{tag}: {field} changed: baseline {base.get(field)!r} "

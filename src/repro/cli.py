@@ -8,6 +8,8 @@ Usage::
     python -m repro run all
     python -m repro overhead
     python -m repro converge --trace t.jsonl --metrics-out m.json
+    python -m repro converge --causal --trace t.jsonl
+    python -m repro explain mit anl --topo cairn
     python -m repro packet-converge --trace t.jsonl --json results.json
     python -m repro report t.jsonl --metrics m.json --json report.json
     python -m repro loss-sweep --rates 0 0.05 0.1 0.2
@@ -192,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit every N-th router event (default 1 = every event)",
     )
     converge.add_argument(
+        "--causal",
+        action="store_true",
+        help=(
+            "enable causal tracing and audit its invariants: one update "
+            "wave per injected event, nonempty critical paths, zero "
+            "orphan messages (nonzero exit on violation)"
+        ),
+    )
+    converge.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
@@ -359,6 +370,42 @@ def build_parser() -> argparse.ArgumentParser:
         "artifact",
         metavar="ARTIFACT",
         help="JSON artifact written by 'repro fuzz'",
+    )
+
+    explain = sub.add_parser(
+        "explain",
+        help=(
+            "route provenance: walk NODE's routing-table entry for DEST "
+            "back through the causal LSU chain to its root trigger"
+        ),
+    )
+    explain.add_argument(
+        "node", metavar="NODE", help="router whose route to explain"
+    )
+    explain.add_argument(
+        "dest", metavar="DEST", help="destination of the route"
+    )
+    explain.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "read a causal trace written by 'converge --causal --trace' "
+            "instead of running the failover experiment"
+        ),
+    )
+    explain.add_argument(
+        "--topo",
+        choices=["cairn", "net1"],
+        default="cairn",
+        help="topology for the fresh failover run (default cairn)",
+    )
+    explain.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="delivery-interleaving seed (default 0)",
     )
 
     report = sub.add_parser(
@@ -556,8 +603,12 @@ def _run_converge(args: argparse.Namespace) -> int:
     topologies = (
         ("cairn", "net1") if args.topo == "all" else (args.topo,)
     )
+    causal = getattr(args, "causal", False)
     observation = obs.start(
-        trace_path=args.trace, audit=True, audit_sample=args.audit_sample
+        trace_path=args.trace,
+        audit=True,
+        audit_sample=args.audit_sample,
+        causal=causal,
     )
     try:
         results = converge_experiment(
@@ -565,6 +616,7 @@ def _run_converge(args: argparse.Namespace) -> int:
         )
         if args.metrics_out:
             write_metrics(args.metrics_out, observation)
+        tracker = observation.causal
     finally:
         obs.stop()
     text = render_failover_table(results)
@@ -572,6 +624,75 @@ def _run_converge(args: argparse.Namespace) -> int:
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(text + "\n")
+    if causal:
+        return _causal_audit(tracker)
+    return 0
+
+
+def _causal_audit(tracker) -> int:
+    """Gate the causal invariants (the CI causal-audit step)."""
+    problems: list[str] = []
+    if tracker.roots == 0:
+        problems.append("no causal root events (no disturbances seen)")
+    if len(tracker.waves) != tracker.roots:
+        problems.append(
+            f"{tracker.roots} injected events but "
+            f"{len(tracker.waves)} update waves"
+        )
+    for path in tracker.critical:
+        if path["length"] < 1:
+            problems.append(
+                f"empty critical path for window op={path['op']!r} "
+                f"link={path['link']!r}"
+            )
+    if tracker.orphans:
+        problems.append(f"{tracker.orphans} orphan (untagged) messages")
+    summary = (
+        f"causal audit: {tracker.roots} roots, {len(tracker.waves)} "
+        f"waves, {len(tracker.critical)} critical paths, "
+        f"{tracker.orphans} orphans"
+    )
+    if problems:
+        print(f"{summary} -- FAIL")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"{summary} -- OK")
+    return 0
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    import os
+    import tempfile
+
+    from repro.obs.causal import provenance_chain, render_explanation
+
+    if args.trace:
+        events = read_trace(args.trace)
+    else:
+        # No trace given: record a fresh causal failover run (cold
+        # start, fail one safe link, restore) on the chosen topology.
+        fd, path = tempfile.mkstemp(suffix=".jsonl", prefix="repro-explain-")
+        os.close(fd)
+        try:
+            obs.start(trace_path=path, causal=True)
+            try:
+                converge_experiment(seed=args.seed, topologies=(args.topo,))
+            finally:
+                obs.stop()
+            events = read_trace(path)
+        finally:
+            os.unlink(path)
+    chain = provenance_chain(events, args.node, args.dest)
+    if chain is None:
+        print(
+            f"no causally-stamped route change for {args.node} -> "
+            f"{args.dest}: is this a causal trace "
+            "('converge --causal --trace ...'), and did the route ever "
+            "change?"
+        )
+        return 1
+    print(render_explanation(chain, args.node, args.dest))
     return 0
 
 
@@ -807,6 +928,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "replay":
         return _run_replay(args)
+
+    if args.command == "explain":
+        return _run_explain(args)
 
     if args.command == "report":
         return _run_report(args)

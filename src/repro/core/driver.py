@@ -184,11 +184,26 @@ class ProtocolDriver:
                     "idle ticks"
                 )
         ob = obs.current() if _ob is _UNSET else _ob
+        causal = None if ob is None else ob.causal
         link_id = self._rng.choice(busy)
         receiver = self.routers[link_id[1]]
         for message in transport.pop(link_id):
             self.delivered += 1
-            if ob is not None and ob.tracer.enabled:
+            if causal is not None:
+                ev = causal.deliver(link_id, message.seq, self.delivered)
+                if ob.tracer.enabled:
+                    ob.tracer.event(
+                        "lsu_deliver",
+                        time=ob.sim_time,
+                        link=link_id,
+                        entries=len(message.entries),
+                        ack=message.ack,
+                        delivered=self.delivered,
+                        eid=ev.eid,
+                        parent=ev.parent,
+                        lamport=ev.lamport,
+                    )
+            elif ob is not None and ob.tracer.enabled:
                 ob.tracer.event(
                     "lsu_deliver",
                     time=ob.sim_time,
@@ -230,15 +245,29 @@ class ProtocolDriver:
             ob.auditor.audit(
                 self.routers, ob, context="quiescent", delivered=self.delivered
             )
+        waves = critical = None
+        if ob.causal is not None:
+            waves, critical = ob.causal.quiesce(self.delivered)
         if not ob.tracer.enabled:
             return
-        ob.tracer.event(
-            "quiescent",
-            time=ob.sim_time,
-            delivered=self.delivered,
-            messages=messages,
-            wall_s=wall_s,
-        )
+        if waves is None:
+            ob.tracer.event(
+                "quiescent",
+                time=ob.sim_time,
+                delivered=self.delivered,
+                messages=messages,
+                wall_s=wall_s,
+            )
+        else:
+            ob.tracer.event(
+                "quiescent",
+                time=ob.sim_time,
+                delivered=self.delivered,
+                messages=messages,
+                wall_s=wall_s,
+                waves=len(waves),
+                orphans=ob.causal.orphans,
+            )
         if ob.auditor is not None:
             summary = ob.auditor.summary()
             ob.tracer.event(
@@ -249,6 +278,11 @@ class ProtocolDriver:
                 verdict=summary["verdict"],
                 delivered=self.delivered,
             )
+        if waves:
+            for wave in waves:
+                ob.tracer.event("wave_span", time=ob.sim_time, **wave)
+            if critical is not None:
+                ob.tracer.event("critical_path", time=ob.sim_time, **critical)
 
     # ------------------------------------------------------------------
     # verification helpers
@@ -370,7 +404,19 @@ class ProtocolDriver:
             self._maybe_check()
             return
         tracing = ob.tracer.enabled
-        before_dists = dict(router.distances) if tracing else None
+        causal = ob.causal
+        before_dists = (
+            dict(router.distances) if tracing or causal is not None else None
+        )
+        # Successor provenance is the expensive half (a dict copy per
+        # event); only MPDA routers have successor sets, and the diff is
+        # only observable through the trace — so gate on both.
+        track_succ = (
+            causal is not None
+            and tracing
+            and router.node_id in self._mpda_routers
+        )
+        before_succ = router.successor_snapshot() if track_succ else None
         if router.node_id in self._mpda_routers:
             was_passive = router.is_passive()
             fn(*args)
@@ -378,10 +424,17 @@ class ProtocolDriver:
                 self._note_phase_change(ob, router, was_passive)
         else:
             fn(*args)
-        if tracing:
-            self._note_dist_changes(ob, router, before_dists)
-        self._collect(router)
+        if before_dists is not None:
+            self._note_dist_changes(ob, router, before_dists, causal, tracing)
+        if track_succ:
+            self._note_succ_changes(ob, router, before_succ, causal)
+        self._collect(router, causal)
         self._maybe_check()
+        if causal is not None:
+            # Close the current event's processing span here: auditor
+            # time below is instrument overhead, not protocol work, and
+            # lands in the inter-event gaps (propagation_s).
+            causal.touch()
         if ob.auditor is not None:
             ob.auditor.on_event(
                 self.routers,
@@ -390,7 +443,9 @@ class ProtocolDriver:
                 delivered=self.delivered,
             )
 
-    def _note_dist_changes(self, ob, router: PDARouter, before) -> None:
+    def _note_dist_changes(
+        self, ob, router: PDARouter, before, causal=None, tracing=True
+    ) -> None:
         """Emit one ``dist_change`` event if the event moved distances."""
         after = router.distances
         changed = [
@@ -398,19 +453,69 @@ class ProtocolDriver:
             for dest in before.keys() | after.keys()
             if before.get(dest) != after.get(dest)
         ]
-        if changed:
-            ob.tracer.event(
-                "dist_change",
-                time=ob.sim_time,
-                node=router.node_id,
-                dests=sorted(changed, key=repr),
-                delivered=self.delivered,
-            )
+        if not changed:
+            return
+        if causal is not None:
+            eid = causal.current_eid()
+            for dest in changed:
+                router.route_provenance[dest] = eid
+            if tracing:
+                ob.tracer.event(
+                    "dist_change",
+                    time=ob.sim_time,
+                    node=router.node_id,
+                    dests=sorted(changed, key=repr),
+                    delivered=self.delivered,
+                    cause=eid,
+                )
+            return
+        ob.tracer.event(
+            "dist_change",
+            time=ob.sim_time,
+            node=router.node_id,
+            dests=sorted(changed, key=repr),
+            delivered=self.delivered,
+        )
+
+    def _note_succ_changes(self, ob, router, before, causal) -> None:
+        """Emit ``succ_change`` + stamp provenance for successor moves."""
+        after = router.successor_sets
+        changed = [
+            dest
+            for dest in before.keys() | after.keys()
+            if before.get(dest) != after.get(dest)
+        ]
+        if not changed:
+            return
+        eid = causal.current_eid()
+        for dest in changed:
+            router.succ_provenance[dest] = eid
+        ob.tracer.event(
+            "succ_change",
+            time=ob.sim_time,
+            node=router.node_id,
+            dests=sorted(changed, key=repr),
+            delivered=self.delivered,
+            cause=eid,
+        )
 
     def _note_disturbance(self, op: str, link) -> None:
         """Mark the start of a convergence window in the trace."""
         ob = obs.current()
-        if ob is not None and ob.tracer.enabled:
+        if ob is None:
+            return
+        if ob.causal is not None:
+            eid = ob.causal.open_root(op, link, self.delivered)
+            if ob.tracer.enabled:
+                ob.tracer.event(
+                    "disturbance",
+                    time=ob.sim_time,
+                    op=op,
+                    link=link,
+                    delivered=self.delivered,
+                    eid=eid,
+                )
+        elif ob.tracer.enabled:
             ob.tracer.event(
                 "disturbance",
                 time=ob.sim_time,
@@ -454,11 +559,13 @@ class ProtocolDriver:
                     messages=messages,
                 )
 
-    def _collect(self, router: PDARouter) -> None:
+    def _collect(self, router: PDARouter, causal=None) -> None:
         """Move a router's outbox into the transport."""
         for nbr, message in router.outbox:
             link_id = (router.node_id, nbr)
             if self.transport.has_link(link_id) and nbr in router.link_costs:
+                if causal is not None:
+                    causal.sent(message.seq)
                 self.transport.send(link_id, message)
         router.outbox.clear()
 

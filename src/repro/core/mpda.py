@@ -70,6 +70,9 @@ class MPDARouter(PDARouter):
         self._succ_stale = False
         self.transitions = 0  # PASSIVE -> ACTIVE count, a protocol metric
         self.acks_received = 0  # consumed ACKs, one per LSU round-trip
+        #: dest -> causal event id of the last successor-set change
+        #: (written by the driver when causal tracing is active).
+        self.succ_provenance: dict[NodeId, int | None] = {}
         #: Destinations whose LFI inputs (a neighbor row or FD entry)
         #: changed since the successor sets were last recomputed.
         self._dirty_dests: set[NodeId] = set()
@@ -331,6 +334,15 @@ class MPDARouter(PDARouter):
     def successors(self, destination: NodeId) -> set[NodeId]:
         """:math:`S^i_j` — may be empty when no loop-free route is known."""
         return set(self.successor_sets.get(destination, ()))
+
+    def successor_snapshot(self) -> dict[NodeId, set[NodeId]]:
+        """A diffable copy of the current successor sets.
+
+        A shallow copy suffices: recomputation installs fresh set
+        objects (or pops the key) and never mutates a stored set in
+        place, so the snapshot's values stay frozen-in-time.
+        """
+        return dict(self.successor_sets)
 
     def marginal_distance_via(
         self, destination: NodeId

@@ -97,6 +97,10 @@ class PDARouter:
         #: copy of k's topology (NTU step 1c).
         self.nbr_distances: dict[NodeId, dict[NodeId, float]] = {}
         self.outbox: list[tuple[NodeId, LSUMessage]] = []
+        #: dest -> causal event id of the last distance change (written
+        #: by the protocol driver when causal tracing is active; see
+        #: :mod:`repro.obs.causal`).  Empty and untouched otherwise.
+        self.route_provenance: dict[NodeId, int | None] = {}
         self.mtu_runs = 0
         self.lsu_sent = 0
         self.lsu_received = 0

@@ -274,7 +274,9 @@ class FaultyChannel(Transport):
         for link, queue in self._queues.items():
             if queue and self._is_partitioned(link):
                 for frame in queue:
-                    self._note_fault("partition_drop", link, frame.key[1])
+                    self._note_fault(
+                        "partition_drop", link, frame.key[1], frame.message
+                    )
                 self.partition_drops += len(queue)
                 queue.clear()
 
@@ -292,24 +294,24 @@ class FaultyChannel(Transport):
         self._next_seq[link] = seq + 1
         if self._is_partitioned(link):
             self.partition_drops += 1
-            self._note_fault("partition_drop", link, seq)
+            self._note_fault("partition_drop", link, seq, message)
             return
         if self.loss and rng.random() < self.loss:
             self.drops += 1
-            self._note_fault("loss", link, seq)
+            self._note_fault("loss", link, seq, message)
             return
         copies = 1
         if self.dup and rng.random() < self.dup:
             copies = 2
             self.dups += 1
-            self._note_fault("dup", link, seq)
+            self._note_fault("dup", link, seq, message)
         queue = self._queues[link]
         for _ in range(copies):
             slack = 0
             if self.reorder and self.jitter and rng.random() < self.reorder:
                 slack = rng.randint(1, self.jitter)
                 self.reorders += 1
-                self._note_fault("reorder", link, seq)
+                self._note_fault("reorder", link, seq, message)
             hold = rng.randint(0, self.delay) if self.delay else 0
             frame = _Frame((seq + slack, seq), self.now + hold, message)
             queue.append(frame)
@@ -369,10 +371,24 @@ class FaultyChannel(Transport):
             raise TopologyError(f"no link {link!r} in the channel")
 
     @staticmethod
-    def _note_fault(op: str, link: LinkId, seq: int) -> None:
+    def _note_fault(
+        op: str, link: LinkId, seq: int, message: object = None
+    ) -> None:
         ob = obs.current()
-        if ob is not None and ob.tracer.enabled:
-            ob.tracer.event("transport_fault", op=op, link=link, seq=seq)
+        if ob is None or not ob.tracer.enabled:
+            return
+        if ob.causal is not None:
+            # Tie the fault to the causal event stream: the LSU's
+            # process-wide seq is the out-of-band causal tag key (pure
+            # ACK segments carry no LSU and are emitted unchanged).
+            payload = getattr(message, "payload", message)
+            lsu = getattr(payload, "seq", None)
+            if lsu is not None:
+                ob.tracer.event(
+                    "transport_fault", op=op, link=link, seq=seq, lsu=lsu
+                )
+                return
+        ob.tracer.event("transport_fault", op=op, link=link, seq=seq)
 
 
 @dataclass(frozen=True)

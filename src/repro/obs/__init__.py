@@ -50,6 +50,7 @@ from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.audit import InvariantAuditor
+    from repro.obs.causal import CausalTracker
     from repro.obs.profile import ResourceProfiler
 
 __all__ = [
@@ -88,6 +89,11 @@ class Observation:
             set (``obs.start(profile=True)`` sets it together with
             profiling-grade timers), run-level wall/CPU/memory readings
             are captured and exported next to the phase timings.
+        causal: a :class:`~repro.obs.causal.CausalTracker`; when set
+            (``obs.start(causal=True)``), the protocol driver tags every
+            message with its causal parent and Lamport clock out-of-band
+            and reconstructs update-wave spans, convergence critical
+            paths and route provenance (the ``repro explain`` CLI).
 
     The mutable :attr:`sim_time` is the bridge between the simulators'
     clocks and clock-less components: runners set it each epoch/tick and
@@ -104,6 +110,7 @@ class Observation:
         protocol_control_plane: bool = True,
         auditor: "InvariantAuditor | None" = None,
         profiler: "ResourceProfiler | None" = None,
+        causal: "CausalTracker | None" = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -111,6 +118,7 @@ class Observation:
         self.protocol_control_plane = protocol_control_plane
         self.auditor = auditor
         self.profiler = profiler
+        self.causal = causal
         #: Simulated time of the innermost running simulator, or None
         #: outside any simulation clock.
         self.sim_time: float | None = None
@@ -142,6 +150,7 @@ def start(
     audit_sample: int = 1,
     profile: bool = False,
     profile_memory: str = "rss",
+    causal: bool = False,
 ) -> Observation:
     """Begin an observation session and make it current.
 
@@ -156,6 +165,12 @@ def start(
     (CPU + self time per phase) and attaches a started
     :class:`~repro.obs.profile.ResourceProfiler`; ``profile_memory``
     selects its memory instrument ("rss", "tracemalloc" or "none").
+
+    ``causal=True`` attaches a
+    :class:`~repro.obs.causal.CausalTracker`: the protocol driver tags
+    messages with causal parents and Lamport clocks (out-of-band — wire
+    semantics and message counts are unchanged) and reconstructs update
+    waves, critical paths and route provenance.
     """
     global _current
     tracer = Tracer.to_path(trace_path) if trace_path else NULL_TRACER
@@ -174,12 +189,20 @@ def start(
 
         timers = ProfilingTimers()
         profiler = ResourceProfiler(memory=profile_memory).start()
+    tracker = None
+    if causal:
+        # Lazy for symmetry with the auditor (and to keep the default
+        # import path lean).
+        from repro.obs.causal import CausalTracker
+
+        tracker = CausalTracker()
     _current = Observation(
         tracer=tracer,
         timers=timers,
         protocol_control_plane=protocol_control_plane,
         auditor=auditor,
         profiler=profiler,
+        causal=tracker,
     )
     return _current
 
@@ -201,6 +224,7 @@ def observe(
     audit_sample: int = 1,
     profile: bool = False,
     profile_memory: str = "rss",
+    causal: bool = False,
 ) -> Iterator[Observation]:
     """Context manager form of :func:`start` / :func:`stop`."""
     global _current
@@ -212,6 +236,7 @@ def observe(
         audit_sample=audit_sample,
         profile=profile,
         profile_memory=profile_memory,
+        causal=causal,
     )
     try:
         yield ob

@@ -1,0 +1,474 @@
+"""Causal tracing and route provenance for protocol runs.
+
+The convergence analytics of :mod:`repro.obs.convergence` measure *that*
+a disturbance converged and *how long* it took; this module records
+*why*: which chain of LSU deliveries drove each routing-table change,
+and which causal path of messages was the wall-clock bottleneck.
+
+A :class:`CausalTracker` rides on an :class:`~repro.obs.Observation`
+(``obs.start(causal=True)``) and is fed by the protocol driver at the
+driver/transport boundary:
+
+- every injected topology/cost event (``start``, ``link_down``,
+  ``link_up``, ``link_cost_change``) opens a **root event**;
+- every delivered LSU becomes a **delivery event** whose parent is the
+  event that *sent* the message (the root for messages queued by the
+  injection itself, the upstream delivery otherwise);
+- every message a router queues while an event is being processed is
+  tagged with that event's id and the node's Lamport clock.
+
+The metadata travels *out of band*: tags are keyed by the LSU's
+process-wide ``seq`` (see :class:`~repro.core.linkstate.LSUMessage`),
+never attached to the wire messages, so message counts, wire semantics
+and the committed converge fixtures stay byte-identical whether causal
+tracing is on or off.  Lamport clocks — not wall clocks — order the
+events because the ROADMAP's distributed deployment has no usable
+global clock; only the causal structure survives real networks, and it
+is exactly reproducible under the driver's seeded interleaving.
+
+At quiescence the tracker folds the events into **update-wave spans**
+(all messages grouped under their triggering root, with depth, breadth
+and fan-out) and the **convergence critical path**: the causal chain
+ending at the last-processed event of the window, walked back to its
+root.  Because the driver is serial, a parent always finishes before
+its child starts, so the path's per-event durations plus the gaps
+between them telescope to the window's wall time — the decomposition
+into *processing* (time inside path events), *timer wait* (root to
+first delivery) and *propagation* (everything between path events,
+including interleaved off-path work and instrument overhead) is exact.
+
+The second half of this module post-processes *traces*: the driver
+mirrors the causal fields into the event stream (``eid``/``parent``/
+``lamport`` on ``lsu_deliver``, ``cause`` on ``dist_change`` and
+``succ_change``, plus ``wave_span`` / ``critical_path`` events), and
+:func:`provenance_chain` walks a routing-table change backwards to its
+root trigger — the engine behind ``repro explain NODE DEST``.
+"""
+
+from __future__ import annotations
+
+import json
+from time import perf_counter
+from typing import Any
+
+from repro.obs.trace import OPTIONAL_FIELDS
+
+#: Event kinds that exist only when causal tracing is enabled.
+CAUSAL_KINDS = frozenset({"wave_span", "critical_path", "succ_change"})
+
+#: Causal fields riding as optional extras on pre-existing event kinds
+#: (the schema home is ``trace.OPTIONAL_FIELDS`` — today causal tracing
+#: is its only contributor).
+CAUSAL_FIELDS: dict[str, frozenset[str]] = OPTIONAL_FIELDS
+
+
+class CausalEvent:
+    """One node in the causal DAG (a root trigger or an LSU delivery)."""
+
+    __slots__ = (
+        "eid",
+        "kind",
+        "op",
+        "link",
+        "node",
+        "parent",
+        "root",
+        "lamport",
+        "depth",
+        "start",
+        "end",
+        "delivered",
+        "children",
+    )
+
+    def __init__(
+        self,
+        eid: int,
+        kind: str,
+        *,
+        op: str | None = None,
+        link: Any = None,
+        node: Any = None,
+        parent: int | None = None,
+        root: int | None = None,
+        lamport: int = 0,
+        depth: int = 0,
+        delivered: int = 0,
+    ) -> None:
+        self.eid = eid
+        self.kind = kind
+        self.op = op
+        self.link = link
+        self.node = node
+        self.parent = parent
+        self.root = root
+        self.lamport = lamport
+        self.depth = depth
+        now = perf_counter()
+        self.start = now
+        self.end = now
+        self.delivered = delivered
+        self.children = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "eid": self.eid,
+            "kind": self.kind,
+            "op": self.op,
+            "link": self.link,
+            "node": self.node,
+            "parent": self.parent,
+            "lamport": self.lamport,
+            "delivered": self.delivered,
+        }
+
+
+class CausalTracker:
+    """Live causal metadata for one observation session.
+
+    The driver is the only writer; everything here is derived from the
+    seeded delivery order, so every count, depth and Lamport value is
+    exactly reproducible (wall-clock ``start``/``end`` readings are the
+    one machine-dependent part, and only the ``*_s`` decomposition
+    fields depend on them).
+    """
+
+    def __init__(self) -> None:
+        #: Every event ever created, indexed by its eid.
+        self.events: list[CausalEvent] = []
+        #: Per-node Lamport clocks (keyed by the node's stable string).
+        self.clocks: dict[str, int] = {}
+        #: LSU ``seq`` -> (sending event id, sender Lamport value) for
+        #: messages currently in flight; cleared at quiescence (no
+        #: message survives a quiescent network).
+        self.tags: dict[int, tuple[int, int]] = {}
+        #: The event whose processing is currently running; messages
+        #: queued now are its causal children.
+        self.current: CausalEvent | None = None
+        #: Deliveries whose message carried no tag — zero in any run
+        #: fully covered by the observation session.
+        self.orphans = 0
+        #: Root events opened so far (over the whole session).
+        self.roots = 0
+        #: Completed wave summaries / critical paths, one batch per
+        #: quiescence (JSON-ready dicts, also emitted as trace events).
+        self.waves: list[dict[str, Any]] = []
+        self.critical: list[dict[str, Any]] = []
+        self._open_roots: list[CausalEvent] = []
+        self._wave_events: dict[int, list[CausalEvent]] = {}
+
+    # ------------------------------------------------------------------
+    # the driver-facing write API
+    # ------------------------------------------------------------------
+    def open_root(self, op: str, link: Any, delivered: int) -> int:
+        """A disturbance was injected; returns the new root event id."""
+        eid = len(self.events)
+        event = CausalEvent(
+            eid, "root", op=op, link=link, root=eid, delivered=delivered
+        )
+        self.events.append(event)
+        self.current = event
+        self.roots += 1
+        self._open_roots.append(event)
+        self._wave_events[eid] = []
+        return eid
+
+    def deliver(self, link: Any, seq: int, delivered: int) -> CausalEvent:
+        """A message was popped for delivery; returns its new event."""
+        node = _node_key(link[1])
+        tag = self.tags.get(seq)
+        if tag is None:
+            self.orphans += 1
+            parent_eid: int | None = None
+            root: int | None = None
+            depth = 1
+            msg_lamport = 0
+        else:
+            parent_eid, msg_lamport = tag
+            parent = self.events[parent_eid]
+            parent.children += 1
+            root = parent.root
+            depth = parent.depth + 1
+        lamport = max(self.clocks.get(node, 0), msg_lamport) + 1
+        self.clocks[node] = lamport
+        eid = len(self.events)
+        event = CausalEvent(
+            eid,
+            "deliver",
+            link=link,
+            node=node,
+            parent=parent_eid,
+            root=root,
+            lamport=lamport,
+            depth=depth,
+            delivered=delivered,
+        )
+        self.events.append(event)
+        if root is not None:
+            self._wave_events[root].append(event)
+        self.current = event
+        return event
+
+    def sent(self, seq: int) -> None:
+        """A message was handed to the transport by the current event."""
+        current = self.current
+        if current is not None:
+            self.tags[seq] = (current.eid, current.lamport)
+
+    def touch(self) -> None:
+        """The current event's processing reached this instant."""
+        if self.current is not None:
+            self.current.end = perf_counter()
+
+    def current_eid(self) -> int | None:
+        """The id of the event being processed (for provenance stamps)."""
+        return None if self.current is None else self.current.eid
+
+    def quiesce(
+        self, delivered: int
+    ) -> tuple[list[dict[str, Any]], dict[str, Any] | None]:
+        """Close the window: wave summaries and its critical path.
+
+        Returns the waves opened since the last quiescence (one per
+        root, in injection order) and the window's critical path (None
+        when the window had no root).  Both are also appended to
+        :attr:`waves` / :attr:`critical` for in-memory consumers (the
+        scale benchmark, the ``--causal`` audit).
+        """
+        waves: list[dict[str, Any]] = []
+        last: CausalEvent | None = None
+        for root in self._open_roots:
+            events = self._wave_events[root.eid]
+            depth = 0
+            by_depth: dict[int, int] = {}
+            max_fanout = root.children
+            nodes = set()
+            for event in events:
+                if event.depth > depth:
+                    depth = event.depth
+                by_depth[event.depth] = by_depth.get(event.depth, 0) + 1
+                if event.children > max_fanout:
+                    max_fanout = event.children
+                nodes.add(event.node)
+                if last is None or event.end > last.end:
+                    last = event
+            waves.append(
+                {
+                    "root": root.eid,
+                    "op": root.op,
+                    "link": root.link,
+                    "messages": len(events),
+                    "depth": depth,
+                    "breadth": max(by_depth.values(), default=0),
+                    "max_fanout": max_fanout,
+                    "nodes": len(nodes),
+                    "start_delivered": root.delivered,
+                    "end_delivered": delivered,
+                }
+            )
+        critical = None
+        if self._open_roots:
+            critical = self._critical_path(last, delivered)
+            self.critical.append(critical)
+        self.waves.extend(waves)
+        self.tags.clear()
+        self._open_roots = []
+        self._wave_events = {}
+        self.current = None
+        return waves, critical
+
+    def _critical_path(
+        self, last: CausalEvent | None, delivered: int
+    ) -> dict[str, Any]:
+        """The longest-ending causal chain of the just-closed window.
+
+        The driver is serial: a parent's processing always ends before
+        its child's begins, so along the path ``processing_s`` (inside
+        events) + ``timer_wait_s`` (root to first delivery) +
+        ``propagation_s`` (the remaining gaps, which absorb interleaved
+        off-path events and instrument overhead) sum exactly to
+        ``total_s``, the root-to-quiescence wall time.
+        """
+        if last is None:
+            # A window with roots but no deliveries (e.g. a no-op cost
+            # change): the path is the root alone.
+            root = self._open_roots[-1]
+            return {
+                "root": root.eid,
+                "op": root.op,
+                "link": root.link,
+                "length": 0,
+                "processing_s": round(root.end - root.start, 6),
+                "propagation_s": 0.0,
+                "timer_wait_s": 0.0,
+                "total_s": round(root.end - root.start, 6),
+                "path": [],
+                "delivered": delivered,
+            }
+        chain: list[CausalEvent] = []
+        event: CausalEvent | None = last
+        while event is not None:
+            chain.append(event)
+            event = (
+                None if event.parent is None else self.events[event.parent]
+            )
+        chain.reverse()  # root first
+        root = chain[0]
+        processing = sum(e.end - e.start for e in chain)
+        timer_wait = max(0.0, chain[1].start - root.end)
+        propagation = sum(
+            max(0.0, chain[i].start - chain[i - 1].end)
+            for i in range(2, len(chain))
+        )
+        return {
+            "root": root.eid,
+            "op": root.op,
+            "link": root.link,
+            "length": len(chain) - 1,
+            "processing_s": round(processing, 6),
+            "propagation_s": round(propagation, 6),
+            "timer_wait_s": round(timer_wait, 6),
+            "total_s": round(last.end - root.start, 6),
+            "path": [
+                {
+                    "eid": e.eid,
+                    "node": e.node,
+                    "link": e.link,
+                    "lamport": e.lamport,
+                    "delivered": e.delivered,
+                }
+                for e in chain[1:]
+            ],
+            "delivered": delivered,
+        }
+
+    def failure_slice(self) -> list[dict[str, Any]]:
+        """The ancestor chain of the current event, root first.
+
+        This is the *minimal causal slice* of a violation: the exact
+        message chain that led to the state the checker rejected.  All
+        fields are deterministic (ids, links, Lamport values, delivered
+        counts — no wall times), so a replayed case reproduces the
+        slice verbatim.
+        """
+        chain: list[dict[str, Any]] = []
+        event = self.current
+        while event is not None:
+            chain.append(event.as_dict())
+            event = (
+                None if event.parent is None else self.events[event.parent]
+            )
+        chain.reverse()
+        return chain
+
+
+def _node_key(value: Any) -> str:
+    """Stable string key for a node id (mirrors the trace rendering)."""
+    return value if isinstance(value, str) else repr(value)
+
+
+# ----------------------------------------------------------------------
+# trace-side reconstruction (``repro explain``)
+# ----------------------------------------------------------------------
+def causal_index(events: list[dict[str, Any]]) -> dict[int, dict[str, Any]]:
+    """eid -> trace event, for every event carrying causal identity."""
+    index: dict[int, dict[str, Any]] = {}
+    for event in events:
+        eid = event.get("eid")
+        if eid is not None:
+            index[eid] = event
+    return index
+
+
+def _matches(value: Any, wanted: str) -> bool:
+    """Does a (possibly repr-rendered) trace value name ``wanted``?"""
+    return (
+        value == wanted
+        or str(value) == wanted
+        or repr(value) == wanted
+        or json.dumps(value, default=repr) == wanted
+    )
+
+
+def provenance_chain(
+    events: list[dict[str, Any]], node: str, dest: str
+) -> list[dict[str, Any]] | None:
+    """The causal chain behind ``node``'s current route to ``dest``.
+
+    Finds the *last* ``dist_change`` / ``succ_change`` event of ``node``
+    touching ``dest`` and walks its ``cause`` through the
+    ``lsu_deliver`` parent links back to the ``disturbance`` root.
+    Returns the chain ``[change, delivery, ..., root]`` or None when the
+    trace has no causally-stamped change for the pair (causal tracing
+    off, or the route never changed).
+    """
+    target: dict[str, Any] | None = None
+    for event in events:
+        if event.get("kind") not in ("dist_change", "succ_change"):
+            continue
+        if event.get("cause") is None:
+            continue
+        if not _matches(event.get("node"), node):
+            continue
+        if any(_matches(d, dest) for d in event.get("dests", ())):
+            target = event  # last match wins: the *current* route
+    if target is None:
+        return None
+    index = causal_index(events)
+    chain = [target]
+    eid = target.get("cause")
+    seen: set[int] = set()
+    while eid is not None and eid not in seen:
+        seen.add(eid)
+        event = index.get(eid)
+        if event is None:
+            break
+        chain.append(event)
+        if event.get("kind") == "disturbance":
+            break
+        eid = event.get("parent")
+    return chain
+
+
+def render_explanation(
+    chain: list[dict[str, Any]], node: str, dest: str
+) -> str:
+    """Human-readable provenance walk (the ``repro explain`` output)."""
+    change, *rest = chain
+    lines = [
+        f"route provenance: {node} -> {dest}",
+        (
+            f"  {change['kind']} at {node} "
+            f"(delivered={change.get('delivered')}, "
+            f"dests={change.get('dests')}) caused by event "
+            f"#{change.get('cause')}"
+        ),
+    ]
+    for event in rest:
+        kind = event.get("kind")
+        if kind == "lsu_deliver":
+            lines.append(
+                f"  #{event.get('eid')} lsu_deliver on "
+                f"{event.get('link')} "
+                f"(lamport={event.get('lamport')}, "
+                f"delivered={event.get('delivered')}) "
+                f"<- #{event.get('parent')}"
+            )
+        elif kind == "disturbance":
+            lines.append(
+                f"  root #{event.get('eid')}: {event.get('op')} "
+                f"{event.get('link')} at delivered="
+                f"{event.get('delivered')}"
+            )
+    complete = bool(rest) and rest[-1].get("kind") == "disturbance"
+    if complete:
+        lines.append(
+            f"  chain: {len(rest) - 1} message(s) from trigger to the "
+            "final table change"
+        )
+    else:
+        lines.append(
+            "  (chain truncated: the trace does not reach a disturbance "
+            "root — was causal tracing active for the whole run?)"
+        )
+    return "\n".join(lines)

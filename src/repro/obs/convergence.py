@@ -23,9 +23,18 @@ the successor graph churns, and where packet delay is spent:
   (p50/p90/p99);
 - :func:`audit_outcome` states the online LFI-audit verdict.
 
+When the trace was recorded with causal tracing
+(``obs.start(causal=True)``), each window additionally carries its
+update-wave spans and critical path (see :mod:`repro.obs.causal`), so
+convergence time is *attributed* along the causal bottleneck chain
+rather than just measured.
+
 Everything consumes plain parsed-JSON dicts, so the analytics run
 against a live :class:`~repro.obs.Observation` or a trace file written
-yesterday.
+yesterday.  Consumers are forward-compatible: event kinds or payload
+fields this build does not know are skipped (and counted by
+:func:`unknown_event_summary`), never fatal — an old binary can read a
+newer trace.
 """
 
 from __future__ import annotations
@@ -33,6 +42,11 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.obs.trace import EVENT_SCHEMAS, OPTIONAL_FIELDS
+
+#: Universal envelope keys every event may carry beyond its schema.
+_ENVELOPE = frozenset({"kind", "t", "node"})
 
 #: Event kinds that open (or extend) a convergence window.
 _DISTURBANCE = "disturbance"
@@ -70,6 +84,11 @@ class ConvergenceWindow:
     last_change: dict[str, int] = field(default_factory=dict)
     active_entries: int = 0
     audit: dict[str, Any] | None = None
+    #: Update-wave summaries (one per disturbance root) and the
+    #: window's causal critical path — present only for traces recorded
+    #: with causal tracing.
+    waves: list[dict[str, Any]] = field(default_factory=list)
+    critical_path: dict[str, Any] | None = None
 
     @property
     def label(self) -> str:
@@ -125,6 +144,8 @@ class ConvergenceWindow:
             "slowest_messages": slowest[1] if slowest else None,
             "per_destination_messages": self.destination_messages(),
             "audit": self.audit,
+            "waves": list(self.waves),
+            "critical_path": self.critical_path,
         }
 
 
@@ -154,6 +175,13 @@ def convergence_windows(
                     "violations": event.get("violations"),
                     "verdict": event.get("verdict"),
                 }
+        elif kind == "wave_span":
+            # Also emitted post-quiescence (causal traces only).
+            if current is not None:
+                current.waves.append(_payload(event))
+        elif kind == "critical_path":
+            if current is not None:
+                current.critical_path = _payload(event)
         elif current is None or current.closed:
             continue
         elif kind == "dist_change":
@@ -172,6 +200,38 @@ def convergence_windows(
 def _key(value: Any) -> str:
     """Stable string key for a (possibly repr-rendered) node id."""
     return value if isinstance(value, str) else json.dumps(value)
+
+
+def _payload(event: dict[str, Any]) -> dict[str, Any]:
+    """An event's payload without the universal envelope keys."""
+    return {k: v for k, v in event.items() if k not in ("kind", "t")}
+
+
+def unknown_event_summary(events: list[dict[str, Any]]) -> dict[str, Any]:
+    """Count what this build's schema does not cover — never raise.
+
+    Newer producers may emit event kinds or payload fields this binary
+    predates; every consumer here skips them, and this summary makes the
+    skipping visible (``repro report`` prints it) instead of silent.
+    Returns ``{"kinds": {kind: count}, "fields": {kind: count}, "events":
+    total_unknown_kind_events}``.
+    """
+    kinds: dict[str, int] = {}
+    fields: dict[str, int] = {}
+    for event in events:
+        kind = event.get("kind", "?")
+        schema = EVENT_SCHEMAS.get(kind)
+        if schema is None:
+            kinds[kind] = kinds.get(kind, 0) + 1
+            continue
+        known = schema | OPTIONAL_FIELDS.get(kind, frozenset()) | _ENVELOPE
+        if any(field not in known for field in event):
+            fields[kind] = fields.get(kind, 0) + 1
+    return {
+        "kinds": kinds,
+        "fields": fields,
+        "events": sum(kinds.values()),
+    }
 
 
 def successor_churn_series(

@@ -26,10 +26,13 @@ from repro.obs.convergence import (
     delay_quantiles,
     protocol_overhead,
     successor_churn_series,
+    unknown_event_summary,
 )
 
 #: Report document version; bump when the structure changes.
-REPORT_SCHEMA = "repro.report/1"
+#: /2: ``events.unknown`` census + ``causal`` section (update waves and
+#: critical-path attribution from causal traces).
+REPORT_SCHEMA = "repro.report/2"
 
 
 def build_report(
@@ -60,8 +63,12 @@ def build_report(
         "events": {
             "total": len(events),
             "by_kind": dict(sorted(kinds.items())),
+            # Forward compatibility: kinds/fields newer than this build
+            # are skipped by every consumer and surfaced here.
+            "unknown": unknown_event_summary(events),
         },
         "windows": [w.as_dict() for w in windows],
+        "causal": _causal_section(windows, events),
         "audit": audit_outcome(metrics),
         "overhead": protocol_overhead(metrics),
         "delay": {
@@ -73,6 +80,55 @@ def build_report(
             "total": sum(count for _, count in churn),
             "max": max((count for _, count in churn), default=0),
         },
+    }
+
+
+def _causal_section(windows, events: list[dict[str, Any]]):
+    """Aggregate causal-trace artifacts; None for non-causal traces."""
+    waves = [wave for window in windows for wave in window.waves]
+    if not waves:
+        return None
+    orphans = 0
+    for event in events:
+        if event.get("kind") == "quiescent" and "orphans" in event:
+            orphans = event["orphans"]  # cumulative; last value wins
+    depths = [wave.get("depth", 0) for wave in waves]
+    paths = []
+    for window in windows:
+        path = window.critical_path
+        if path is None:
+            continue
+        wall = window.wall_s
+        total = path.get("total_s")
+        paths.append(
+            {
+                "label": window.label,
+                "length": path.get("length"),
+                "processing_s": path.get("processing_s"),
+                "propagation_s": path.get("propagation_s"),
+                "timer_wait_s": path.get("timer_wait_s"),
+                "total_s": total,
+                "window_wall_s": wall,
+                # How much of the measured convergence window the
+                # critical path accounts for; ~1.0 when the window's
+                # wall time is causally attributed end to end (>1.0
+                # when the root was injected before the run() clock
+                # started, e.g. the cold-start adjacency bring-up).
+                "coverage": (
+                    round(total / wall, 4) if wall and total else None
+                ),
+            }
+        )
+    return {
+        "waves": len(waves),
+        "messages_in_waves": sum(w.get("messages", 0) for w in waves),
+        "max_depth": max(depths, default=0),
+        "mean_depth": (
+            round(sum(depths) / len(depths), 2) if depths else 0.0
+        ),
+        "max_fanout": max((w.get("max_fanout", 0) for w in waves), default=0),
+        "orphans": orphans,
+        "critical_paths": paths,
     }
 
 
@@ -90,6 +146,7 @@ def render_report(report: dict[str, Any]) -> str:
     """The text form of a report: tables plus one-line summaries."""
     parts = [
         _render_windows(report.get("windows", [])),
+        _render_causal(report.get("causal")),
         _render_audit(report.get("audit", {})),
         _render_delay(report.get("delay", {})),
         _render_overhead(report.get("overhead")),
@@ -135,6 +192,36 @@ def _render_windows(windows: list[dict[str, Any]]) -> str:
             + str(audit.get("verdict", "-")).rjust(9)
         )
     lines.append("-" * len(header))
+    return "\n".join(lines)
+
+
+def _render_causal(causal: dict[str, Any] | None) -> str:
+    if not causal:
+        return ""
+    lines = [
+        "causal: "
+        f"{causal.get('waves', 0)} update waves covering "
+        f"{causal.get('messages_in_waves', 0)} messages "
+        f"(max depth {causal.get('max_depth', 0)}, "
+        f"mean {causal.get('mean_depth', 0.0)}, "
+        f"max fan-out {causal.get('max_fanout', 0)}, "
+        f"orphans {causal.get('orphans', 0)})"
+    ]
+    for path in causal.get("critical_paths", ()):
+        coverage = path.get("coverage")
+        lines.append(
+            f"  critical path [{path.get('label', '?')}]: "
+            f"{path.get('length', 0)} hops, "
+            f"total {path.get('total_s', 0.0):.4g}s = "
+            f"processing {path.get('processing_s', 0.0):.4g}s + "
+            f"propagation {path.get('propagation_s', 0.0):.4g}s + "
+            f"timer wait {path.get('timer_wait_s', 0.0):.4g}s"
+            + (
+                f" ({coverage:.0%} of window wall)"
+                if coverage is not None
+                else ""
+            )
+        )
     return "\n".join(lines)
 
 
@@ -198,4 +285,13 @@ def _render_events(events: dict[str, Any]) -> str:
     if not by_kind:
         return ""
     census = " ".join(f"{kind}={count}" for kind, count in by_kind.items())
-    return f"trace: {events.get('total', 0)} events ({census})"
+    line = f"trace: {events.get('total', 0)} events ({census})"
+    unknown = events.get("unknown") or {}
+    if unknown.get("events") or unknown.get("fields"):
+        line += (
+            f"\ntrace: skipped {unknown.get('events', 0)} events of "
+            f"unknown kind {sorted(unknown.get('kinds', {}))} and "
+            f"unrecognized fields on {sorted(unknown.get('fields', {}))} "
+            "(newer trace format?)"
+        )
+    return line

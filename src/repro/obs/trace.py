@@ -138,4 +138,59 @@ EVENT_SCHEMAS: dict[str, frozenset[str]] = {
     ),
     # Gallager's OPT finished
     "opt_done": frozenset({"iterations", "converged", "total_delay"}),
+    # causal tracing (obs/causal.py, ``obs.start(causal=True)``): a
+    # router's successor sets changed (MPDA routers only)
+    "succ_change": frozenset({"node", "dests", "delivered", "cause"}),
+    # causal tracing: one update wave (all deliveries descending from
+    # one disturbance root), summarized at quiescence
+    "wave_span": frozenset(
+        {
+            "root",
+            "op",
+            "link",
+            "messages",
+            "depth",
+            "breadth",
+            "max_fanout",
+            "nodes",
+            "start_delivered",
+            "end_delivered",
+        }
+    ),
+    # causal tracing: the convergence window's critical path (longest
+    # causal chain from trigger to quiescence, time-decomposed)
+    "critical_path": frozenset(
+        {
+            "root",
+            "op",
+            "link",
+            "length",
+            "processing_s",
+            "propagation_s",
+            "timer_wait_s",
+            "total_s",
+            "path",
+            "delivered",
+        }
+    ),
+}
+
+#: Optional payload fields: event ``kind`` -> fields that *may* appear
+#: beyond the required set above.  Today these are exactly the causal
+#: annotations (present iff ``obs.start(causal=True)``); the
+#: schema-coverage audit in the test suite enforces that every emitted
+#: field is either required, listed here, or one of the universal
+#: ``kind``/``t``/``node`` envelope keys.
+OPTIONAL_FIELDS: dict[str, frozenset[str]] = {
+    # causal identity of the delivery event and its sender
+    "lsu_deliver": frozenset({"eid", "parent", "lamport"}),
+    # causal root event id of the injected disturbance
+    "disturbance": frozenset({"eid"}),
+    # causal event id whose processing changed the distances/successors
+    "dist_change": frozenset({"cause"}),
+    # update waves closed at this quiescence + untagged deliveries
+    "quiescent": frozenset({"waves", "orphans"}),
+    # process-wide LSU seq of the payload hit by the fault (None-less:
+    # omitted for pure-ACK frames)
+    "transport_fault": frozenset({"lsu"}),
 }

@@ -33,6 +33,7 @@ import os
 import random
 from dataclasses import asdict, dataclass, field, replace
 
+from repro import obs
 from repro.core.driver import ProtocolDriver
 from repro.core.mpda import MPDARouter
 from repro.core.transport import FaultyChannel, ReliableTransport, Transport
@@ -41,7 +42,11 @@ from repro.graph.generators import random_connected
 from repro.graph.topologies import cairn, net1
 from repro.graph.topology import Topology
 
-ARTIFACT_VERSION = 1
+#: v2: failure records embed ``causal_slice`` — the minimal causal
+#: chain (ancestor events of the violating delivery) that produced the
+#: rejected state.  v1 artifacts (no slice) still load and replay.
+ARTIFACT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 #: Event schedule ops (JSON-serializable lists, op first).
 OPS = ("fail_link", "restore_link", "set_cost", "partition", "pump")
@@ -269,11 +274,24 @@ def run_case(case: FuzzCase) -> dict:
 
 
 def check_case(case: FuzzCase) -> dict | None:
-    """Run a case; the failure record, or None when it passed clean."""
-    try:
-        run_case(case)
-    except ReproError as error:
-        return {"type": type(error).__name__, "message": str(error)}
+    """Run a case; the failure record, or None when it passed clean.
+
+    Runs under a causal-tracing observation (no tracer, no auditor —
+    delivery counts and schedules are unchanged), so a violation's
+    record embeds its *minimal causal slice*: the ancestor chain of the
+    delivery being processed when the check fired.  The slice is pure
+    deterministic data (event ids, links, Lamport clocks, delivered
+    counts), normalized through JSON so replays compare verbatim.
+    """
+    with obs.observe(causal=True) as ob:
+        try:
+            run_case(case)
+        except ReproError as error:
+            failure = {"type": type(error).__name__, "message": str(error)}
+            failure["causal_slice"] = json.loads(
+                json.dumps(ob.causal.failure_slice(), default=repr)
+            )
+            return failure
     return None
 
 
@@ -295,10 +313,10 @@ def write_artifact(path: str, case: FuzzCase, failure: dict) -> None:
 def load_artifact(path: str) -> tuple[FuzzCase, dict]:
     with open(path) as fh:
         doc = json.load(fh)
-    if doc.get("version") != ARTIFACT_VERSION:
+    if doc.get("version") not in _SUPPORTED_VERSIONS:
         raise ValueError(
             f"artifact {path!r} has version {doc.get('version')!r}, "
-            f"expected {ARTIFACT_VERSION}"
+            f"expected one of {_SUPPORTED_VERSIONS}"
         )
     return FuzzCase.from_dict(doc["case"]), doc["failure"]
 
@@ -332,7 +350,14 @@ def replay(path: str) -> ReplayResult:
     """Re-execute an artifact; deterministic, so the recorded failure
     must come back verbatim unless the code under test changed."""
     case, recorded = load_artifact(path)
+    with open(path) as fh:
+        version = json.load(fh).get("version")
     observed = check_case(case)
+    if observed is not None and version == 1:
+        # v1 artifact: compare modulo the slice this build now records.
+        observed = {
+            k: v for k, v in observed.items() if k != "causal_slice"
+        }
     return ReplayResult(
         reproduced=observed == recorded,
         recorded=recorded,

@@ -14,7 +14,11 @@ Produces, next to this script:
 - ``packet_net1.trace.jsonl`` / ``packet_net1.metrics.json`` /
   ``packet_net1.report.json`` — a short audited packet-level NET1 run,
   the source of the delay quantiles and the queueing / transmission /
-  propagation decomposition.
+  propagation decomposition;
+- ``causal_cairn.trace.jsonl`` / ``causal_cairn.report.json`` — the
+  CAIRN cold-start/failover/restore run with causal tracing enabled
+  (``converge --causal``): the source of the pinned wave counts, wave
+  depths and critical-path lengths.
 
 Every number in the fixtures is deterministic (seeded interleaving,
 seeded packet arrivals, message-count clocks) except the ``wall_s``
@@ -53,6 +57,22 @@ def regen_converge() -> None:
     _report("converge")
 
 
+def regen_causal_cairn() -> None:
+    trace = _path("causal_cairn.trace.jsonl")
+    obs.start(trace_path=trace, audit=True, causal=True)
+    try:
+        converge_experiment(seed=0, topologies=("cairn",))
+    finally:
+        obs.stop()
+    events = read_trace(trace)
+    report = build_report(
+        events,
+        None,
+        source={"trace": "tests/fixtures/causal_cairn.trace.jsonl"},
+    )
+    write_report(_path("causal_cairn.report.json"), report)
+
+
 def regen_packet_net1() -> None:
     trace = _path("packet_net1.trace.jsonl")
     metrics = _path("packet_net1.metrics.json")
@@ -87,5 +107,6 @@ def _report(stem: str) -> None:
 
 if __name__ == "__main__":
     regen_converge()
+    regen_causal_cairn()
     regen_packet_net1()
     print("fixtures regenerated under", HERE)

@@ -1,6 +1,7 @@
 """The `python -m repro` experiment runner."""
 
 import json
+import os
 
 import pytest
 
@@ -54,6 +55,23 @@ class TestParser:
         args = build_parser().parse_args(["converge"])
         assert args.topo == "all"
         assert args.audit_sample == 1
+
+    def test_converge_causal_flag(self):
+        args = build_parser().parse_args(["converge", "--causal"])
+        assert args.causal is True
+        assert build_parser().parse_args(["converge"]).causal is False
+
+    def test_explain_command(self):
+        args = build_parser().parse_args(
+            ["explain", "mit", "anl", "--topo", "cairn",
+             "--trace", "t.jsonl", "--seed", "2"]
+        )
+        assert args.command == "explain"
+        assert args.node == "mit"
+        assert args.dest == "anl"
+        assert args.topo == "cairn"
+        assert args.trace == "t.jsonl"
+        assert args.seed == 2
 
     def test_report_command(self):
         args = build_parser().parse_args(
@@ -224,6 +242,42 @@ class TestMain:
             data["metrics"]["counters"]["lfi_audit.violations"][""]["value"]
             == 0
         )
+
+    def test_converge_causal_audit_passes(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        code = main([
+            "converge", "--topo", "net1", "--audit-sample", "50",
+            "--causal", "--trace", str(trace),
+        ])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "causal audit:" in printed and "OK" in printed
+        assert "0 orphans" in printed
+        kinds = {
+            json.loads(line)["kind"]
+            for line in trace.read_text().splitlines()
+        }
+        assert {"wave_span", "critical_path", "succ_change"} <= kinds
+
+    def test_explain_from_fixture_trace(self, capsys):
+        fixture = os.path.join(
+            os.path.dirname(__file__),
+            "fixtures", "causal_cairn.trace.jsonl",
+        )
+        code = main(["explain", "mit", "anl", "--trace", fixture])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "route provenance: mit -> anl" in printed
+        assert "root #" in printed
+
+    def test_explain_unknown_pair_fails(self, capsys):
+        fixture = os.path.join(
+            os.path.dirname(__file__),
+            "fixtures", "causal_cairn.trace.jsonl",
+        )
+        code = main(["explain", "mit", "nowhere", "--trace", fixture])
+        assert code == 1
+        assert "no causally-stamped" in capsys.readouterr().out
 
     def test_overhead_prints_both_topologies(self, tmp_path, capsys):
         out_file = tmp_path / "o.txt"

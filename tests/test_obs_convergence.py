@@ -20,6 +20,7 @@ from repro.obs.convergence import (
     delay_quantiles,
     read_trace,
     successor_churn_series,
+    unknown_event_summary,
 )
 from repro.obs.report import build_report, render_report, write_report
 
@@ -131,7 +132,7 @@ class TestMetricsReaders:
 class TestReport:
     def test_build_and_render(self):
         report = build_report(_events(), None, source={"trace": "t"})
-        assert report["schema"] == "repro.report/1"
+        assert report["schema"] == "repro.report/2"
         assert len(report["windows"]) == 2
         assert report["churn"] == {
             "route_updates": 2, "total": 3, "max": 3,
@@ -150,6 +151,50 @@ class TestReport:
     def test_report_without_windows_still_renders(self):
         text = render_report(build_report([]))
         assert "no disturbance events" in text
+
+
+class TestForwardCompat:
+    """A trace from a *future* version must degrade gracefully.
+
+    Consumers skip-and-count: an unknown event kind never raises, an
+    extra field on a known kind never raises, and both show up in the
+    report's ``events.unknown`` summary instead of vanishing silently.
+    """
+
+    def _future_events(self):
+        events = _events()
+        # A kind this version has never heard of.
+        events.insert(3, {"kind": "teleport", "node": "a", "wormhole": 9,
+                          "delivered": 4})
+        # A known kind that grew an undeclared field.
+        events.insert(4, {"kind": "dist_change", "node": "c",
+                          "dests": ["t"], "delivered": 5,
+                          "confidence": 0.99})
+        return events
+
+    def test_windows_skip_unknown_kinds(self):
+        windows = convergence_windows(self._future_events())
+        assert len(windows) == 2
+        # The decorated dist_change still counts toward its window.
+        assert windows[0].destination_messages()["t"] == 7
+
+    def test_unknown_event_summary_counts(self):
+        summary = unknown_event_summary(self._future_events())
+        assert summary["kinds"] == {"teleport": 1}
+        assert summary["events"] == 1
+        assert summary["fields"] == {"dist_change": 1}
+
+    def test_report_surfaces_unknown_summary(self):
+        report = build_report(self._future_events())
+        assert report["events"]["unknown"]["kinds"] == {"teleport": 1}
+        text = render_report(report)
+        assert "unknown kind" in text and "teleport" in text
+
+    def test_clean_trace_reports_nothing_unknown(self):
+        summary = unknown_event_summary(_events())
+        assert summary["events"] == 0
+        assert summary["kinds"] == {}
+        assert summary["fields"] == {}
 
 
 class TestFailureLinkChoice:

@@ -3,8 +3,12 @@
 The contract enforced here is what external tooling (and ``repro
 report``) relies on: every line a trace sink receives is plain
 ``json.loads``-able, every event kind appears in
-:data:`repro.obs.trace.EVENT_SCHEMAS`, and every event carries at least
-the fields its schema documents.
+:data:`repro.obs.trace.EVENT_SCHEMAS`, and every event's field set
+matches its schema *exactly* — at least the documented required fields,
+and nothing beyond the documented optional fields
+(:data:`repro.obs.trace.OPTIONAL_FIELDS`) plus the universal
+``kind``/``t``/``node`` envelope.  An emitter growing an undeclared
+field fails here, not in a downstream consumer.
 """
 
 import json
@@ -17,12 +21,15 @@ from repro.bench.convergence import failover_experiment
 from repro.fluid.flows import Flow, TrafficMatrix
 from repro.gallager.opt import optimize
 from repro.graph.topologies import net1
-from repro.obs.trace import EVENT_SCHEMAS
+from repro.obs.trace import EVENT_SCHEMAS, OPTIONAL_FIELDS
 from repro.sim.packet_runner import PacketRunConfig, run_packet_level
 from repro.sim.runner import QuasiStaticConfig, run_quasi_static
 from repro.sim.scenario import Scenario
 
 FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: Envelope keys any event may carry (added by ``Tracer.event`` itself).
+ENVELOPE = frozenset({"kind", "t", "node"})
 
 
 def _parse(path):
@@ -41,6 +48,16 @@ def _assert_documented(events):
         missing = EVENT_SCHEMAS[kind] - event.keys()
         assert not missing, (
             f"event kind {kind!r} missing documented fields {missing}"
+        )
+        allowed = (
+            EVENT_SCHEMAS[kind]
+            | OPTIONAL_FIELDS.get(kind, frozenset())
+            | ENVELOPE
+        )
+        extras = event.keys() - allowed
+        assert not extras, (
+            f"event kind {kind!r} carries undeclared fields {extras}; "
+            "declare them in EVENT_SCHEMAS or OPTIONAL_FIELDS"
         )
 
 
@@ -90,6 +107,18 @@ class TestLiveTraces:
         assert {"active_enter", "active_exit", "audit_summary",
                 "disturbance", "dist_change", "quiescent"} <= kinds
 
+    def test_causal_failover_covers_causal_events(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        with obs.observe(trace_path=str(trace), audit=True, causal=True):
+            failover_experiment(net1(), "NET1", seed=0)
+        events = _parse(trace)
+        _assert_documented(events)
+        kinds = {event["kind"] for event in events}
+        assert {"wave_span", "critical_path", "succ_change"} <= kinds
+        # Causal runs decorate existing kinds with the optional fields.
+        deliver = next(e for e in events if e["kind"] == "lsu_deliver")
+        assert {"eid", "lamport"} <= deliver.keys()
+
     def test_opt_done_event(self, tmp_path, diamond_scenario):
         trace = tmp_path / "t.jsonl"
         with obs.observe(trace_path=str(trace)):
@@ -125,7 +154,12 @@ class TestLiveTraces:
 
 class TestCommittedFixtures:
     @pytest.mark.parametrize(
-        "name", ["converge.trace.jsonl", "packet_net1.trace.jsonl"]
+        "name",
+        [
+            "converge.trace.jsonl",
+            "packet_net1.trace.jsonl",
+            "causal_cairn.trace.jsonl",
+        ],
     )
     def test_fixture_traces_conform(self, name):
         events = _parse(os.path.join(FIXTURES, name))
