@@ -1,0 +1,45 @@
+"""ZOO — every registered routing policy on CAIRN and NET1.
+
+The fig09–fig14 harness compares the paper's protagonists (MP, SP,
+OPT); this benchmark opens the same operating points to the whole
+policy registry, including the non-paper rivals ``ecmp-k`` (equal split
+over the k shortest paths, downhill-filtered) and ``backpressure-lr``
+(loop-free backpressure on a Gafni–Bertsekas link-reversal DAG).  The
+rendered markdown table is the per-policy delay table EXPERIMENTS.md
+carries.
+"""
+
+from benchmarks.conftest import run_once
+from repro.bench.figures import policy_zoo, render_policy_delay_table
+
+
+def run_experiment():
+    return {
+        network: policy_zoo(network) for network in ("cairn", "net1")
+    }
+
+
+def test_policy_zoo(benchmark, record_figure):
+    results = run_once(benchmark, run_experiment)
+    table = render_policy_delay_table(results)
+    record_figure("policy_zoo", table)
+
+    for network, result in results.items():
+        metrics = result.metrics
+        # Gallager's optimum lower-bounds the zoo (small tolerance for
+        # the finite-buffer evaluation of its fixed fractions).
+        opt = metrics["opt_avg_ms"]
+        for name in ("mp", "mp-oracle", "sp", "ecmp-k", "backpressure-lr"):
+            assert metrics[f"{name}_avg_ms"] >= 0.95 * opt, (
+                network,
+                name,
+            )
+        # The paper's protagonists track OPT; the single-path baseline
+        # does not (Figs. 9-12).
+        assert metrics["mp_avg_ms"] <= 1.15 * opt
+        assert metrics["sp_avg_ms"] > 1.2 * metrics["mp_avg_ms"]
+        # Theorem 4: the protocol and the converged oracle agree.
+        assert metrics["mp_avg_ms"] == metrics["mp-oracle_avg_ms"]
+        # The rivals run end-to-end and land between MP and the
+        # congested baselines.
+        assert metrics["backpressure-lr_avg_ms"] < metrics["sp_avg_ms"]

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.policy import available_policies
 from repro.sim.control import QuasiStaticConfig, run
 from repro.sim.runner import run_opt
 from repro.sim.scenario import (
@@ -314,3 +315,126 @@ def abl_successors() -> FigureResult:
         result.flow_series[label] = outcome.mean_flow_delays_ms()
         result.metrics[f"{label}_avg_ms"] = ms(outcome.mean_average_delay())
     return result
+
+
+# ----------------------------------------------------------------------
+# The policy zoo — every registered algorithm under one operating point
+# ----------------------------------------------------------------------
+#: Constructor knobs for policies whose defaults need pinning in the
+#: comparison (kept explicit so the table is self-describing).
+ZOO_POLICY_PARAMS: dict[str, dict] = {
+    "ecmp-k": {"k": 3},
+}
+
+#: The MP family keeps the damping the paper figures use.
+_DAMPED_POLICIES = ("mp", "mp-oracle")
+
+
+def _zoo_scenario(network: str) -> Scenario:
+    if network == "cairn":
+        return cairn_scenario(load=CAIRN_LOAD)
+    if network == "net1":
+        return net1_scenario(load=NET1_LOAD)
+    raise ValueError(f"unknown network {network!r}")
+
+
+def _zoo_config(policy: str, **overrides) -> QuasiStaticConfig:
+    base = dict(
+        tl=10.0,
+        ts=2.0,
+        duration=DURATION,
+        warmup=WARMUP,
+        policy=policy,
+        policy_params=dict(ZOO_POLICY_PARAMS.get(policy, {})),
+        damping=MP_DAMPING if policy in _DAMPED_POLICIES else 1.0,
+    )
+    base.update(overrides)
+    return QuasiStaticConfig(**base)
+
+
+def policy_zoo(
+    network: str = "cairn",
+    *,
+    policies: tuple[str, ...] | None = None,
+    duration: float = DURATION,
+    warmup: float = WARMUP,
+) -> FigureResult:
+    """Every registered routing policy on one evaluation topology.
+
+    The fig09–fig14 harness compares the paper's protagonists; this is
+    the same operating point (Figs. 9/11 for CAIRN, 10/12 for NET1)
+    opened to the whole registry — MPDA, its single-path and ECMP
+    ablations, Gallager's optimum, and the non-paper rivals (``ecmp-k``,
+    ``backpressure-lr``).  Rows are keyed by *policy name* (labels
+    collide: ``mp`` and ``mp-oracle`` share the paper's MP plot key).
+    """
+    scenario = _zoo_scenario(network)
+    names = (
+        tuple(policies)
+        if policies is not None
+        else tuple(available_policies())
+    )
+    result = FigureResult(
+        figure=f"ZOO ({network}: all registered policies)",
+        claim=(
+            "MPDA tracks OPT; single-path and equal-cost baselines "
+            "congest; DAG-frozen backpressure sits between"
+        ),
+    )
+    for name in names:
+        outcome = run(
+            scenario,
+            _zoo_config(name, duration=duration, warmup=warmup),
+        )
+        result.flow_series[name] = outcome.mean_flow_delays_ms()
+        result.metrics[f"{name}_avg_ms"] = ms(outcome.mean_average_delay())
+        result.metrics[f"{name}_max_util"] = outcome.peak_utilization()
+    return result
+
+
+def render_policy_delay_table(
+    results: dict[str, FigureResult]
+) -> str:
+    """The per-policy delay table (markdown) for EXPERIMENTS.md.
+
+    ``results`` maps network name -> :func:`policy_zoo` result.  One row
+    per policy, one average-delay column per network, plus the policy's
+    loop-freedom contract.
+    """
+    networks = list(results)
+    registry = available_policies()
+    names = sorted(
+        {
+            name
+            for res in results.values()
+            for name in res.flow_series
+        }
+    )
+    header = (
+        "| policy | loop-free | "
+        + " | ".join(f"{net} avg (ms)" for net in networks)
+        + " | "
+        + " | ".join(f"{net} max util" for net in networks)
+        + " |"
+    )
+    rule = "|---" * (1 + 1 + 2 * len(networks)) + "|"
+    lines = [header, rule]
+    for name in names:
+        cls = registry.get(name)
+        loop_free = "yes" if (cls is not None and cls.loop_free) else "no"
+        delays = [
+            f"{results[net].metrics.get(f'{name}_avg_ms', float('nan')):.2f}"
+            for net in networks
+        ]
+        utils = [
+            f"{results[net].metrics.get(f'{name}_max_util', float('nan')):.2f}"
+            for net in networks
+        ]
+        lines.append(
+            f"| `{name}` | {loop_free} | "
+            + " | ".join(delays)
+            + " | "
+            + " | ".join(utils)
+            + " |"
+        )
+    return "\n".join(lines)

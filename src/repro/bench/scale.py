@@ -129,7 +129,7 @@ def scale_point(
         ts=WORKLOAD["ts"],
         duration=WORKLOAD["duration"],
         warmup=0.0,
-        mode="protocol",
+        policy="mp",
         damping=0.5,
         seed=seed,
     )

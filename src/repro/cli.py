@@ -3,6 +3,8 @@
 Usage::
 
     python -m repro list
+    python -m repro policies
+    python -m repro compare --topo cairn --policy mp --policy ecmp-k
     python -m repro run fig09 [--out results.txt]
     python -m repro run fig09 --trace t.jsonl --metrics-out m.json --timing
     python -m repro run all
@@ -54,6 +56,7 @@ from repro.bench.reporting import render_flow_table, render_series
 from repro.obs.convergence import read_trace
 from repro.obs.export import render_timings, write_metrics
 from repro.obs.report import build_report, render_report, write_report
+from repro.policy import available_policies
 
 #: Experiment registry: id -> (factory, description).
 EXPERIMENTS: dict[str, tuple[Callable[[], FigureResult], str]] = {
@@ -110,6 +113,62 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
+
+    sub.add_parser(
+        "policies",
+        help="list the registered routing policies (--policy names)",
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help=(
+            "run registered routing policies side by side on the "
+            "evaluation topologies; emits the per-policy delay table"
+        ),
+    )
+    compare.add_argument(
+        "--topo",
+        choices=["cairn", "net1", "all"],
+        default="all",
+        help="which evaluation topology to run (default all)",
+    )
+    compare.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "policy to include (repeatable; default: every registered "
+            "policy — see 'repro policies')"
+        ),
+    )
+    compare.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="S",
+        help="simulated seconds per run (default: the figures' 200)",
+    )
+    compare.add_argument(
+        "--warmup",
+        type=float,
+        default=None,
+        metavar="S",
+        help="warmup cut-off (default: the figures' 60)",
+    )
+    compare.add_argument(
+        "--json",
+        dest="json_out",
+        metavar="PATH",
+        default=None,
+        help="write per-policy results as JSON to this file",
+    )
+    compare.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the markdown delay table to this file",
+    )
 
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
@@ -892,6 +951,54 @@ def _run_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_policies() -> int:
+    registry = available_policies()
+    width = max(len(name) for name in registry)
+    for name, cls in registry.items():
+        tags = []
+        if cls.loop_free:
+            tags.append("loop-free")
+        if cls.handles_link_events:
+            tags.append("link-events")
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        print(f"{name:<{width}}  {cls.summary}{suffix}")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    networks = (
+        ("cairn", "net1") if args.topo == "all" else (args.topo,)
+    )
+    policies = tuple(args.policy) if args.policy else None
+    extra = {}
+    if args.duration is not None:
+        extra["duration"] = args.duration
+    if args.warmup is not None:
+        extra["warmup"] = args.warmup
+    results = {
+        network: figures.policy_zoo(network, policies=policies, **extra)
+        for network in networks
+    }
+    table = figures.render_policy_delay_table(results)
+    print(table)
+    if args.json_out:
+        doc = {
+            network: {
+                "figure": result.figure,
+                "metrics": result.metrics,
+                "flow_series": result.flow_series,
+            }
+            for network, result in results.items()
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(table + "\n")
+    return 0
+
+
 def _run_overhead(args: argparse.Namespace) -> int:
     reports = overhead_experiment(epochs=args.epochs, seed=args.seed)
     text = render_overhead_table(reports)
@@ -910,6 +1017,12 @@ def main(argv: list[str] | None = None) -> int:
             _, description = EXPERIMENTS[name]
             print(f"{name:16} {description}")
         return 0
+
+    if args.command == "policies":
+        return _run_policies()
+
+    if args.command == "compare":
+        return _run_compare(args)
 
     if args.command == "overhead":
         return _run_overhead(args)

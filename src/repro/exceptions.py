@@ -42,3 +42,12 @@ class ConvergenceError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation was driven into an invalid state."""
+
+
+class ConfigError(ReproError):
+    """A run configuration references something that does not exist.
+
+    Raised by the policy registry when a run names an unknown routing
+    policy (or a legacy ``mode`` string that maps to none); the message
+    always lists the registered policy names so typos are self-repairing.
+    """

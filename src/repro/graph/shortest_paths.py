@@ -273,6 +273,79 @@ def bellman_ford(
     return dist
 
 
+def k_shortest_paths(
+    costs: CostMap,
+    source: NodeId,
+    target: NodeId,
+    k: int,
+    *,
+    nodes: list[NodeId] | None = None,
+) -> list[list[NodeId]]:
+    """The ``k`` shortest loopless paths ``source -> target`` (Yen).
+
+    Deterministic: candidate paths of equal cost are ordered by their
+    node-repr sequence, the same total order every other tie-break in
+    this package uses.  Returns fewer than ``k`` paths when the graph
+    has fewer distinct loopless paths (possibly none).
+
+    This powers the ``ecmp-k`` baseline policy: equal traffic split over
+    the first hops of the k shortest paths.
+    """
+    if k < 1:
+        raise RoutingError(f"k must be >= 1, got {k!r}")
+    if source == target:
+        return [[source]]
+    dist, pred = dijkstra(costs, source, nodes=nodes)
+    if dist.get(target, INFINITY) == INFINITY:
+        return []
+    paths: list[list[NodeId]] = [extract_path(pred, source, target)]
+    seen: set[tuple] = {tuple(paths[0])}
+    # Candidate heap ordered by (cost, repr-sequence): deterministic
+    # across runs and machines.
+    candidates: list[tuple[float, tuple[str, ...], list[NodeId]]] = []
+
+    while len(paths) < k:
+        prev = paths[-1]
+        for i in range(len(prev) - 1):
+            spur, root = prev[i], prev[: i + 1]
+            # Remove the edges any already-found path with this root
+            # prefix takes out of the spur node, and the root's interior
+            # nodes, then look for the best deviation.
+            banned_edges = {
+                (path[i], path[i + 1])
+                for path in paths
+                if len(path) > i and path[: i + 1] == root
+            }
+            banned_nodes = set(root[:-1])
+            spur_costs = {
+                link_id: cost
+                for link_id, cost in costs.items()
+                if link_id not in banned_edges
+                and link_id[0] not in banned_nodes
+                and link_id[1] not in banned_nodes
+            }
+            spur_dist, spur_pred = dijkstra(spur_costs, spur, nodes=nodes)
+            if spur_dist.get(target, INFINITY) == INFINITY:
+                continue
+            total = root[:-1] + extract_path(spur_pred, spur, target)
+            key = tuple(total)
+            if key in seen:
+                continue
+            seen.add(key)
+            heapq.heappush(
+                candidates,
+                (
+                    path_cost(costs, total),
+                    tuple(repr(node) for node in total),
+                    total,
+                ),
+            )
+        if not candidates:
+            break
+        paths.append(heapq.heappop(candidates)[2])
+    return paths
+
+
 def all_pairs_distances(costs: CostMap) -> dict[NodeId, dict[NodeId, float]]:
     """``dist[i][j]`` for every ordered pair, via repeated Dijkstra."""
     adj = _adjacency(costs)

@@ -1,0 +1,213 @@
+"""The paper's own algorithms as first citizens of the policy zoo.
+
+Each class is a thin adapter over :class:`~repro.core.router.MPRouting`
+— the engine the simulators always ran — so the refactor changes *where*
+the algorithm is selected (the registry) without changing a single
+computed number: the ``MPRouting`` construction arguments and the
+update-call sequence are exactly what the controller used to issue, and
+the committed converge/packet fixtures stay byte-identical.
+
+- ``mp`` — MPDA in protocol mode: the real message exchange, with
+  instantaneous loop-free reconvergence on link events;
+- ``mp-oracle`` — the converged MPDA outcome computed directly
+  (Theorem 4), upgraded to the live protocol while an observability
+  session wants control-plane metrics;
+- ``sp`` — the paper's single-path baseline (``successor_limit=1``);
+- ``ecmp`` / ``ecmp-hop`` — the OSPF-style equal-cost baselines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro import obs
+from repro.core.router import MPRouting
+from repro.exceptions import ConfigError
+from repro.graph.shortest_paths import CostMap
+from repro.graph.topology import NodeId
+from repro.policy.base import RoutingPolicy, RoutingTables
+from repro.policy.registry import register
+
+
+class MPFamilyPolicy(RoutingPolicy):
+    """Shared adapter: lifecycle calls forwarded to :class:`MPRouting`."""
+
+    #: "oracle" or "protocol" — the MPRouting backend this name selects.
+    mode = "oracle"
+    #: "lfi" (the paper's unequal-cost sets) or an ECMP ablation rule.
+    path_rule = "lfi"
+    loop_free = True
+
+    def __init__(self, *, successor_limit: int | None = None) -> None:
+        self._successor_limit = successor_limit
+        self._mpr: MPRouting | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    def initialize(self, scenario, config) -> None:
+        self.topo = scenario.topo
+        self.destinations = scenario.mean_traffic().destinations()
+        limit = (
+            self._successor_limit
+            if self._successor_limit is not None
+            else config.successor_limit
+        )
+        mode = self._effective_mode()
+        self._mpr = MPRouting(
+            scenario.topo,
+            self.destinations,
+            successor_limit=limit,
+            mode=mode,
+            path_rule=self.path_rule,
+            damping=config.damping,
+            seed=config.seed,
+        )
+        self.handles_link_events = mode == "protocol"
+
+    def _effective_mode(self) -> str:
+        """Upgrade oracle runs to the live protocol while observing.
+
+        Control-plane metrics (LSU counts, ACTIVE phases, ACK
+        round-trips) only exist when the real MPDA exchange runs;
+        Theorem 4 makes both backends converge to the same successor
+        sets, so results match.  The upgrade is limited to the paper's
+        LFI rule (the ECMP ablations have no protocol backend).
+        """
+        ob = obs.current()
+        if (
+            ob is not None
+            and ob.protocol_control_plane
+            and self.mode == "oracle"
+            and self.path_rule == "lfi"
+        ):
+            return "protocol"
+        return self.mode
+
+    def on_costs(self, long_costs: CostMap) -> None:
+        self._mpr.update_routes(long_costs)
+
+    def on_short_costs(self, short_costs: CostMap) -> None:
+        self._mpr.adjust_allocation(short_costs)
+
+    def on_link_event(
+        self,
+        event: str,
+        a: NodeId,
+        b: NodeId,
+        cost_ab: float | None = None,
+        cost_ba: float | None = None,
+    ) -> None:
+        if event == "down":
+            self._mpr.fail_link(a, b)
+        elif event == "up":
+            self._mpr.restore_link(a, b, cost_ab, cost_ba)
+        else:
+            raise ValueError(f"unknown link event {event!r}")
+
+    # -- read side ------------------------------------------------------
+    def routing(self) -> RoutingTables:
+        return {
+            dest: self._mpr.successors(dest) for dest in self.destinations
+        }
+
+    def fractions(
+        self, node: NodeId, destination: NodeId
+    ) -> Mapping[NodeId, float]:
+        return self._mpr.fractions(node, destination)
+
+    def phi(self) -> dict[NodeId, dict[NodeId, dict[NodeId, float]]]:
+        return self._mpr.phi()
+
+    def protocol_stats(self) -> dict[str, int]:
+        return self._mpr.protocol_stats()
+
+    # -- counters delegated to the engine -------------------------------
+    @property
+    def route_updates(self) -> int:
+        return self._mpr.route_updates if self._mpr is not None else 0
+
+    @property
+    def allocation_updates(self) -> int:
+        return self._mpr.allocation_updates if self._mpr is not None else 0
+
+
+@register
+class MPProtocolPolicy(MPFamilyPolicy):
+    name = "mp"
+    summary = (
+        "MPDA multipath (protocol mode): the real message exchange, "
+        "loop-free at every instant"
+    )
+    mode = "protocol"
+
+    @classmethod
+    def normalize_config(cls, config) -> None:
+        config.mode = "protocol"
+
+
+@register
+class MPOraclePolicy(MPFamilyPolicy):
+    name = "mp-oracle"
+    summary = (
+        "MPDA multipath (oracle mode): converged Theorem-4 successor "
+        "sets computed directly"
+    )
+    mode = "oracle"
+
+    @classmethod
+    def normalize_config(cls, config) -> None:
+        config.mode = "oracle"
+
+
+@register
+class SPPolicy(MPFamilyPolicy):
+    name = "sp"
+    summary = (
+        "single-path baseline: best successor only (the paper's SP, "
+        "an EIGRP/OSPF stand-in)"
+    )
+    mode = "oracle"
+
+    def __init__(self) -> None:
+        super().__init__(successor_limit=1)
+
+    @classmethod
+    def normalize_config(cls, config) -> None:
+        if config.successor_limit not in (None, 1):
+            raise ConfigError(
+                "policy 'sp' is the successor_limit=1 baseline; got "
+                f"successor_limit={config.successor_limit!r}"
+            )
+        config.mode = "oracle"
+        config.successor_limit = 1
+
+
+@register
+class ECMPPolicy(MPFamilyPolicy):
+    name = "ecmp"
+    summary = (
+        "equal-cost multipath over measured costs (OSPF's rule; "
+        "degenerates to SP under continuous marginal delays)"
+    )
+    mode = "oracle"
+    path_rule = "ecmp"
+
+    @classmethod
+    def normalize_config(cls, config) -> None:
+        config.mode = "oracle"
+        if hasattr(config, "path_rule"):
+            config.path_rule = cls.path_rule
+        elif cls.path_rule != "lfi":
+            raise ConfigError(
+                f"policy {cls.name!r} needs a fluid-plane config "
+                "(QuasiStaticConfig) carrying path_rule"
+            )
+
+
+@register
+class ECMPHopPolicy(ECMPPolicy):
+    name = "ecmp-hop"
+    summary = (
+        "hop-count ECMP (realistic OSPF): even split over equal-hop "
+        "paths, blind to congestion"
+    )
+    path_rule = "ecmp-hop"

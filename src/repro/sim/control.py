@@ -11,9 +11,13 @@ The paper's whole system is *one* control discipline:
   allocation whose successor set changed.
 
 :class:`TwoTimescaleController` owns that cadence — Ts/Tl timers, IH/AH
-invocation, mode selection (oracle / protocol / the SP ablation),
-warmup accounting, scenario dynamics (link outages, bursty on/off
-traffic) and epoch-record emission — and drives a :class:`DataPlane`:
+invocation, warmup accounting, scenario dynamics (link outages, bursty
+on/off traffic) and epoch-record emission.  *Which* routing algorithm
+fills the successor sets is no longer the controller's business: it
+resolves a :class:`~repro.policy.RoutingPolicy` from the registry
+(``config.policy``, or the legacy ``mode``/``successor_limit``/
+``path_rule`` encoding) and drives its uniform lifecycle.  The policy
+in turn feeds a :class:`DataPlane`:
 
 - :class:`FluidPlane` evaluates the network analytically each epoch
   with the same M/M/1 law the paper's cost function assumes, plus fluid
@@ -39,17 +43,22 @@ over it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro import obs
-from repro.core.router import MPRouting
 from repro.exceptions import SimulationError
 from repro.fluid.delay import DelayModel
 from repro.fluid.evaluator import flow_delays, link_flows
 from repro.fluid.queues import FluidQueues
 from repro.graph.topology import LinkId
 from repro.netsim.network import PacketNetwork
+from repro.policy import (
+    RoutingPolicy,
+    create_policy,
+    policy_class,
+    policy_name_for_config,
+)
 from repro.sim.results import EpochRecord, RunResult
 from repro.sim.scenario import BurstyScenario, Scenario
 
@@ -75,6 +84,14 @@ class RunConfig:
         damping: AH step damping.
         seed: protocol-mode delivery interleaving (and packet-plane
             service/arrival) seed.
+        policy: registry name of the routing policy to run (see
+            ``repro policies``).  ``None`` derives it from the legacy
+            ``mode`` / ``successor_limit`` / ``path_rule`` fields, and
+            either spelling raises :class:`~repro.exceptions.ConfigError`
+            — listing the registered names — when it matches nothing.
+        policy_params: extra constructor knobs for the policy
+            (``{"k": 4}`` for ``ecmp-k``, ``{"eta": 0.05}`` for
+            ``opt``, ...).
     """
 
     tl: float = 10.0
@@ -85,6 +102,8 @@ class RunConfig:
     mode: str = "oracle"
     damping: float = 1.0
     seed: int = 0
+    policy: str | None = None
+    policy_params: dict = field(default_factory=dict)
     #: Weight of the newest Tl window in the long-term cost EWMA.  1.0
     #: uses the raw window measurement; smaller values smooth the costs
     #: across windows, damping route flapping the way a real router's
@@ -110,14 +129,30 @@ class RunConfig:
             )
         if self.duration <= self.warmup:
             raise SimulationError("duration must exceed warmup")
+        if self.policy is None:
+            # Legacy spelling: derive (and validate) the registry name
+            # from mode / successor_limit / path_rule.
+            self.policy = policy_name_for_config(self)
+        else:
+            # Registry spelling: validate the name, then let the policy
+            # back-fill the legacy fields so labels and downstream
+            # consumers keep working.
+            policy_class(self.policy).normalize_config(self)
 
     @property
     def epochs_per_tl(self) -> int:
         return round(self.tl / self.ts)
 
+    #: Policies whose labels follow the paper's plot-key conventions
+    #: below; anything else gets a generic ``NAME-TL-x`` key.
+    _PAPER_LABELS = ("mp", "mp-oracle", "sp", "ecmp", "ecmp-hop")
+
     @property
     def label(self) -> str:
         """The paper's plot-key convention (MP-TL-x-TS-y / SP-TL-x)."""
+        if self.policy is not None and self.policy not in self._PAPER_LABELS:
+            name = self.policy.upper()
+            return f"{name}-TL-{self.tl:g}{self.label_suffix}"
         if self.successor_limit == 1:
             return f"SP-TL-{self.tl:g}{self.label_suffix}"
         prefix = (
@@ -183,8 +218,8 @@ class DataPlane(Protocol):
     #: Short tag stamped on results and trace events.
     name: str
 
-    def bind(self, routing: MPRouting) -> None:
-        """Attach the routing plane before the first epoch."""
+    def bind(self, routing: RoutingPolicy) -> None:
+        """Attach the routing policy before the first epoch."""
 
     def advance(
         self, time: float, dt: float, traffic
@@ -215,9 +250,9 @@ class FluidPlane:
             scenario.topo, queue_limit=queue_limit
         )
         self.queues = FluidQueues(self.model, queue_limit)
-        self.routing: MPRouting | None = None
+        self.routing: RoutingPolicy | None = None
 
-    def bind(self, routing: MPRouting) -> None:
+    def bind(self, routing: RoutingPolicy) -> None:
         self.routing = routing
 
     def advance(self, time, dt, traffic):
@@ -284,7 +319,7 @@ class PacketPlane:
         self._flow_marks: dict[str, tuple[int, float]] = {}
         self._dropped_mark = 0
 
-    def bind(self, routing: MPRouting) -> None:
+    def bind(self, routing: RoutingPolicy) -> None:
         config = self.config
         self.network = PacketNetwork(
             self.scenario.topo,
@@ -408,20 +443,16 @@ class TwoTimescaleController:
         self.plane = plane if plane is not None else _default_plane(
             scenario, config
         )
+        #: The policy instance of the last/current :meth:`run`.
+        self.policy: RoutingPolicy | None = None
 
     def run(self) -> RunResult:
         scenario, config, plane = self.scenario, self.config, self.plane
         topo = scenario.topo
         ob = obs.current()
-        routing = MPRouting(
-            topo,
-            scenario.mean_traffic().destinations(),
-            successor_limit=config.successor_limit,
-            mode=_effective_mode(config, ob),
-            path_rule=getattr(config, "path_rule", "lfi"),
-            damping=config.damping,
-            seed=config.seed,
-        )
+        routing = create_policy(config.policy, **config.policy_params)
+        routing.initialize(scenario, config)
+        self.policy = routing
         plane.bind(routing)
 
         # Boot: no measurements yet, so paths come from idle marginal
@@ -433,7 +464,7 @@ class TwoTimescaleController:
             ob.sim_time = 0.0
         boot_costs = topo.idle_marginal_costs()
         long_costs: dict[LinkId, float] = dict(boot_costs)
-        routing.update_routes(boot_costs)
+        routing.on_costs(boot_costs)
         links_down: frozenset = frozenset()
 
         result = RunResult(
@@ -496,12 +527,12 @@ class TwoTimescaleController:
                         for link_id in measured
                     }
                 with obs.phase(ob, "control.tl_update"):
-                    routing.update_routes(_without(long_costs, links_down))
+                    routing.on_costs(_without(long_costs, links_down))
                 window_costs = {}
                 window_epochs = 0
             else:
                 with obs.phase(ob, "control.ts_adjust"):
-                    routing.adjust_allocation(
+                    routing.on_short_costs(
                         _without(short_costs, links_down)
                     )
 
@@ -519,10 +550,11 @@ class TwoTimescaleController:
         """Apply the scenario's outage state for ``time`` if it changed.
 
         The data plane sees the physical event (queued packets dropped,
-        fluid backlog lost); the routing plane sees it as MPDA would —
-        in protocol mode through the driver's link_down/link_up
-        notifications (restored links come back at their long-term
-        cost), in oracle mode by recomputing over the surviving links.
+        fluid backlog lost); the routing policy sees it either as link
+        events — policies with their own failure handling, e.g. MPDA's
+        protocol mode or link reversal (restored links come back at
+        their long-term cost) — or, for converged-oracle policies, as a
+        route recomputation over the surviving links.
         """
         now_down = self.scenario.links_down_at(time)
         if now_down == links_down:
@@ -539,15 +571,15 @@ class TwoTimescaleController:
                 ob.tracer.event(
                     "link_up", time=time, link=link_id, plane=plane.name
                 )
-        if routing.mode == "protocol":
+        if routing.handles_link_events:
             for a, b in _duplex_pairs(went_down):
-                routing.fail_link(a, b)
+                routing.on_link_event("down", a, b)
             for a, b in _duplex_pairs(came_up):
-                routing.restore_link(
-                    a, b, long_costs[(a, b)], long_costs[(b, a)]
+                routing.on_link_event(
+                    "up", a, b, long_costs[(a, b)], long_costs[(b, a)]
                 )
         else:
-            routing.update_routes(_without(long_costs, now_down))
+            routing.on_costs(_without(long_costs, now_down))
         return now_down
 
 
@@ -577,26 +609,6 @@ def _default_plane(scenario: Scenario, config: RunConfig) -> DataPlane:
     if isinstance(config, PacketRunConfig):
         return PacketPlane(scenario, config)
     return FluidPlane(scenario, config)
-
-
-def _effective_mode(config: RunConfig, ob) -> str:
-    """Upgrade oracle runs to the live protocol while observing.
-
-    Control-plane metrics (LSU counts, ACTIVE phases, ACK round-trips)
-    only exist when the real MPDA exchange runs; Theorem 4 makes both
-    backends converge to the same successor sets, so results match.
-    The upgrade is limited to the paper's LFI rule (the ECMP ablations
-    have no protocol backend).  Scenario outages are fine: the
-    controller feeds them to the driver as link_down/link_up events.
-    """
-    if (
-        ob is not None
-        and ob.protocol_control_plane
-        and config.mode == "oracle"
-        and getattr(config, "path_rule", "lfi") == "lfi"
-    ):
-        return "protocol"
-    return config.mode
 
 
 def _without(costs, links_down):

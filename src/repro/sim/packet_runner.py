@@ -11,11 +11,29 @@ links mid-run (the old runner silently ignored ``links_down_at``).
 
 from __future__ import annotations
 
+import warnings
+
 from repro.sim.control import PacketRunConfig, run
 from repro.sim.results import RunResult
 from repro.sim.scenario import Scenario
 
 __all__ = ["PacketRunConfig", "run_packet_level"]
+
+#: Deprecation is announced once per process, not once per call.
+_warned = False
+
+
+def _warn_once() -> None:
+    global _warned
+    if not _warned:
+        _warned = True
+        warnings.warn(
+            "run_packet_level is deprecated; call repro.sim.control.run "
+            "(the data plane follows the config type, the algorithm the "
+            "config's policy name)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
 
 def run_packet_level(
@@ -24,6 +42,8 @@ def run_packet_level(
     """Run the full packet-level system and return per-flow delays.
 
     Deprecated shim: new code should call :func:`repro.sim.control.run`,
-    which selects the data plane from the config type.
+    which resolves the routing policy from the registry and selects the
+    data plane from the config type.
     """
+    _warn_once()
     return run(scenario, config)

@@ -10,6 +10,8 @@ Gallager's optimum is computed once on the stationary traffic.
 
 from __future__ import annotations
 
+import warnings
+
 from repro import obs
 from repro.fluid.delay import DelayModel
 from repro.fluid.evaluator import evaluate
@@ -20,6 +22,23 @@ from repro.sim.scenario import Scenario
 
 __all__ = ["QuasiStaticConfig", "run_quasi_static", "run_opt"]
 
+#: Deprecation is announced once per process, not once per call — sweeps
+#: invoke the shim hundreds of times and the warning would drown output.
+_warned = False
+
+
+def _warn_once() -> None:
+    global _warned
+    if not _warned:
+        _warned = True
+        warnings.warn(
+            "run_quasi_static is deprecated; call repro.sim.control.run "
+            "(the data plane follows the config type, the algorithm the "
+            "config's policy name)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
 
 def run_quasi_static(
     scenario: Scenario, config: QuasiStaticConfig
@@ -27,12 +46,14 @@ def run_quasi_static(
     """Run MP (or SP) through the two-timescale discipline (fluid plane).
 
     Deprecated shim: new code should call :func:`repro.sim.control.run`,
-    which selects the data plane from the config type.
+    which resolves the routing policy from the registry and selects the
+    data plane from the config type.
 
     Returns:
         A :class:`RunResult` whose per-flow means reproduce one curve of
         the paper's figures.
     """
+    _warn_once()
     return run(scenario, config)
 
 

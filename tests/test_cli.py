@@ -339,3 +339,60 @@ class TestMain:
     def test_bench_check_max_nodes_must_cover_a_size(self):
         with pytest.raises(SystemExit):
             main(["scale-bench", "--max-nodes", "5"])
+
+
+class TestPolicyCommands:
+    def test_policies_command_parses(self):
+        args = build_parser().parse_args(["policies"])
+        assert args.command == "policies"
+
+    def test_compare_command_parses(self):
+        args = build_parser().parse_args(
+            ["compare", "--topo", "cairn", "--policy", "mp",
+             "--policy", "ecmp-k", "--duration", "40",
+             "--out", "table.md", "--json", "table.json"]
+        )
+        assert args.command == "compare"
+        assert args.topo == "cairn"
+        assert args.policy == ["mp", "ecmp-k"]
+        assert args.duration == 40.0
+        assert args.json_out == "table.json"
+
+    def test_compare_defaults_to_every_policy(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.policy is None
+        assert args.topo == "all"
+
+    def test_policies_lists_the_registry(self, capsys):
+        from repro.policy import available_policies
+
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in available_policies():
+            assert name in out
+        assert "loop-free" in out
+
+    def test_compare_writes_table_and_json(self, tmp_path, capsys):
+        table = tmp_path / "table.md"
+        doc = tmp_path / "table.json"
+        code = main(
+            ["compare", "--topo", "cairn", "--policy", "sp",
+             "--policy", "ecmp-k", "--duration", "24", "--warmup", "8",
+             "--out", str(table), "--json", str(doc)]
+        )
+        assert code == 0
+        text = table.read_text()
+        assert "| policy |" in text
+        assert "`ecmp-k`" in text and "`sp`" in text
+        payload = json.loads(doc.read_text())
+        assert "cairn" in payload
+        assert "sp_avg_ms" in payload["cairn"]["metrics"]
+        out = capsys.readouterr().out
+        assert "cairn avg (ms)" in out
+
+    def test_compare_rejects_unknown_policy(self):
+        from repro.exceptions import ConfigError
+
+        with pytest.raises(ConfigError, match="known policies"):
+            main(["compare", "--topo", "cairn", "--policy", "nonesuch",
+                  "--duration", "24", "--warmup", "8"])

@@ -1,0 +1,78 @@
+"""The legacy runner shims warn exactly once per process.
+
+``run_quasi_static`` / ``run_packet_level`` survive as deprecated
+wrappers over :func:`repro.sim.control.run`; the warning must fire on
+the first call and never again (sweeps call the shims hundreds of
+times).  The module flag is reset around each test so the suite is
+order-independent even when other tests exercised the shims first.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.fluid.flows import Flow, TrafficMatrix
+from repro.sim import packet_runner, runner
+from repro.sim.control import PacketRunConfig, QuasiStaticConfig
+from repro.sim.scenario import Scenario
+
+
+@pytest.fixture
+def diamond_scenario(diamond):
+    return Scenario(
+        name="diamond",
+        topo=diamond,
+        traffic=TrafficMatrix([Flow("s", "t", 600.0, name="hot")]),
+    )
+
+
+def _collect(func):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        func()
+    return [w for w in caught if w.category is DeprecationWarning]
+
+
+def test_run_quasi_static_warns_once_per_process(
+    diamond_scenario, monkeypatch
+):
+    monkeypatch.setattr(runner, "_warned", False)
+    config = QuasiStaticConfig(tl=4.0, ts=2.0, duration=8.0, warmup=2.0)
+
+    def call():
+        runner.run_quasi_static(diamond_scenario, config)
+
+    first = _collect(call)
+    assert len(first) == 1
+    assert "run_quasi_static is deprecated" in str(first[0].message)
+    assert "repro.sim.control.run" in str(first[0].message)
+    assert _collect(call) == []
+    assert _collect(call) == []
+
+
+def test_run_packet_level_warns_once_per_process(
+    diamond_scenario, monkeypatch
+):
+    monkeypatch.setattr(packet_runner, "_warned", False)
+    config = PacketRunConfig(tl=4.0, ts=2.0, duration=8.0, seed=0)
+
+    def call():
+        packet_runner.run_packet_level(diamond_scenario, config)
+
+    first = _collect(call)
+    assert len(first) == 1
+    assert "run_packet_level is deprecated" in str(first[0].message)
+    assert _collect(call) == []
+
+
+def test_shims_still_deliver_results(diamond_scenario, monkeypatch):
+    """Deprecated does not mean broken: the shims route through the
+    registry-backed controller and return ordinary results."""
+    monkeypatch.setattr(runner, "_warned", True)
+    config = QuasiStaticConfig(tl=4.0, ts=2.0, duration=8.0, warmup=2.0)
+    result = runner.run_quasi_static(diamond_scenario, config)
+    assert result.plane == "fluid"
+    assert config.policy == "mp-oracle"
+    assert result.mean_average_delay() > 0.0

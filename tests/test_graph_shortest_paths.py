@@ -170,3 +170,79 @@ def test_dijkstra_triangle_inequality(seed):
     dist, _ = dijkstra(costs, 0)
     for (u, v), c in costs.items():
         assert dist[v] <= dist[u] + c + 1e-9
+
+
+class TestKShortestPaths:
+    """Yen's k shortest loopless paths (the ecmp-k policy's engine)."""
+
+    def _costs(self, triangle):
+        return topology_costs(
+            triangle,
+            {
+                ("a", "b"): 1.0, ("b", "a"): 1.0,
+                ("b", "c"): 1.0, ("c", "b"): 1.0,
+                ("a", "c"): 2.5, ("c", "a"): 2.5,
+            },
+        )
+
+    def test_orders_paths_by_cost(self, triangle):
+        from repro.graph.shortest_paths import k_shortest_paths
+
+        paths = k_shortest_paths(self._costs(triangle), "a", "c", 3)
+        assert paths == [["a", "b", "c"], ["a", "c"]]
+
+    def test_k_one_is_the_shortest_path(self, triangle):
+        from repro.graph.shortest_paths import k_shortest_paths
+
+        paths = k_shortest_paths(self._costs(triangle), "a", "c", 1)
+        assert paths == [["a", "b", "c"]]
+
+    def test_source_equals_target(self, triangle):
+        from repro.graph.shortest_paths import k_shortest_paths
+
+        assert k_shortest_paths(self._costs(triangle), "a", "a", 4) == [["a"]]
+
+    def test_unreachable_returns_empty(self):
+        from repro.graph.shortest_paths import k_shortest_paths
+
+        costs = {("a", "b"): 1.0}
+        assert k_shortest_paths(costs, "b", "a", 3) == []
+
+    def test_rejects_nonpositive_k(self, triangle):
+        from repro.graph.shortest_paths import k_shortest_paths
+
+        with pytest.raises(RoutingError):
+            k_shortest_paths(self._costs(triangle), "a", "c", 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_networkx_simple_paths(self, seed):
+        """Same path costs, in the same nondecreasing order, as nx's
+        shortest_simple_paths (also Yen), for k=4."""
+        from repro.graph.shortest_paths import k_shortest_paths
+
+        costs = _random_costs(seed, n=8, extra=6)
+        ours = k_shortest_paths(costs, 0, 5, 4)
+        g = _to_nx(costs)
+        if not nx.has_path(g, 0, 5):
+            assert ours == []
+            return
+        expect = []
+        for path in nx.shortest_simple_paths(g, 0, 5, weight="weight"):
+            expect.append(path_cost(costs, path))
+            if len(expect) == 4:
+                break
+        assert [path_cost(costs, p) for p in ours] == pytest.approx(expect)
+        # Loopless: no repeated node within any path.
+        for path in ours:
+            assert len(set(path)) == len(path)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_deterministic(self, seed):
+        from repro.graph.shortest_paths import k_shortest_paths
+
+        costs = _random_costs(seed, n=8, extra=6)
+        assert k_shortest_paths(costs, 0, 5, 3) == k_shortest_paths(
+            costs, 0, 5, 3
+        )

@@ -1,0 +1,188 @@
+"""Conformance suite: every registered policy honors the same contract.
+
+The registry is only useful if a name can be swapped for another without
+re-reading the implementation, so the whole zoo is parametrized through
+one set of obligations: validated lookup, deterministic runs under a
+fixed seed, well-formed successor sets and split fractions, and — for
+policies that claim ``loop_free`` — a clean Theorem-3 audit across a
+CAIRN link-failure/restore window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.convergence import pick_failure_link
+from repro.exceptions import ConfigError
+from repro.graph.validation import assert_loop_free
+from repro.policy import (
+    available_policies,
+    create_policy,
+    policy_class,
+    policy_name_for_config,
+)
+from repro.sim.control import (
+    QuasiStaticConfig,
+    RunConfig,
+    TwoTimescaleController,
+)
+from repro.sim.scenario import cairn_scenario, with_failures
+
+ALL_POLICIES = sorted(available_policies())
+
+#: Constructor knobs pinned small so the suite stays fast.
+POLICY_PARAMS = {"ecmp-k": {"k": 2}, "opt": {"max_iterations": 400}}
+
+
+def _config(name: str, **overrides) -> QuasiStaticConfig:
+    base = dict(
+        tl=10.0,
+        ts=2.0,
+        duration=30.0,
+        warmup=10.0,
+        seed=0,
+        policy=name,
+        policy_params=dict(POLICY_PARAMS.get(name, {})),
+    )
+    base.update(overrides)
+    return QuasiStaticConfig(**base)
+
+
+def _run(scenario, config):
+    controller = TwoTimescaleController(scenario, config)
+    result = controller.run()
+    return controller.policy, result
+
+
+# ----------------------------------------------------------------------
+# the registry: validated lookup
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_every_known_name_resolves(self):
+        for name in ALL_POLICIES:
+            assert policy_class(name).name == name
+
+    def test_unknown_name_lists_known_policies(self):
+        with pytest.raises(ConfigError) as exc:
+            policy_class("ospfv9")
+        message = str(exc.value)
+        assert "ospfv9" in message
+        for name in ALL_POLICIES:
+            assert name in message
+
+    def test_bad_policy_params_name_the_policy(self):
+        with pytest.raises(ConfigError, match="bad parameters.*'sp'"):
+            create_policy("sp", bogus_knob=3)
+
+    def test_ecmp_k_validates_k(self):
+        with pytest.raises(ConfigError, match="integer k >= 1"):
+            create_policy("ecmp-k", k=0)
+        assert create_policy("ecmp-k", k=1).k == 1
+
+
+class TestConfigValidation:
+    """Satellite: unknown mode/policy strings fail loudly at config time."""
+
+    def test_unknown_policy_raises_config_error(self):
+        with pytest.raises(ConfigError, match="known policies"):
+            QuasiStaticConfig(policy="bogus")
+
+    def test_unknown_mode_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown routing mode"):
+            RunConfig(mode="bogus")
+
+    def test_unknown_path_rule_raises_config_error(self):
+        with pytest.raises(ConfigError, match="unknown path rule"):
+            QuasiStaticConfig(path_rule="bogus")
+
+    def test_legacy_fields_derive_the_policy(self):
+        assert QuasiStaticConfig().policy == "mp-oracle"
+        assert QuasiStaticConfig(successor_limit=1).policy == "sp"
+        assert QuasiStaticConfig(mode="protocol").policy == "mp"
+        assert QuasiStaticConfig(path_rule="ecmp").policy == "ecmp"
+        assert QuasiStaticConfig(path_rule="ecmp-hop").policy == "ecmp-hop"
+
+    def test_policy_names_backfill_legacy_fields(self):
+        sp = QuasiStaticConfig(policy="sp")
+        assert sp.successor_limit == 1 and sp.mode == "oracle"
+        assert sp.label.startswith("SP-TL-")
+        mp = QuasiStaticConfig(policy="mp")
+        assert mp.mode == "protocol"
+        assert mp.label.startswith("MP-TL-")
+        ecmp = QuasiStaticConfig(policy="ecmp")
+        assert ecmp.path_rule == "ecmp"
+
+    def test_sp_rejects_contradictory_successor_limit(self):
+        with pytest.raises(ConfigError, match="successor_limit=1"):
+            QuasiStaticConfig(policy="sp", successor_limit=3)
+
+    def test_non_paper_policies_get_generic_labels(self):
+        assert (
+            QuasiStaticConfig(policy="ecmp-k").label == "ECMP-K-TL-10"
+        )
+        assert (
+            QuasiStaticConfig(policy="backpressure-lr", tl=20.0, ts=4.0).label
+            == "BACKPRESSURE-LR-TL-20"
+        )
+
+    def test_derivation_function_rejects_unknown_mode(self):
+        class Legacy:
+            mode = "chaotic"
+            successor_limit = None
+
+        with pytest.raises(ConfigError, match="unknown routing mode"):
+            policy_name_for_config(Legacy())
+
+
+# ----------------------------------------------------------------------
+# the run contract, parametrized over the whole zoo
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cairn():
+    return cairn_scenario(load=1.0)
+
+
+@pytest.mark.parametrize("name", ALL_POLICIES)
+class TestPolicyContract:
+    def test_deterministic_under_fixed_seed(self, name, cairn):
+        first_policy, first = _run(cairn, _config(name))
+        second_policy, second = _run(cairn, _config(name))
+        assert [r.average_delay for r in first.records] == [
+            r.average_delay for r in second.records
+        ]
+        assert first_policy.routing() == second_policy.routing()
+
+    def test_fractions_and_successors_are_well_formed(self, name, cairn):
+        policy, result = _run(cairn, _config(name))
+        topo = cairn.topo
+        tables = policy.routing()
+        assert tables, f"{name} produced no routing tables"
+        for dest, by_node in tables.items():
+            for node, successors in by_node.items():
+                neighbors = set(topo.neighbors(node))
+                assert set(successors) <= neighbors, (
+                    f"{name}: {node}->{dest} successors {successors} "
+                    f"not all neighbors"
+                )
+                fractions = policy.fractions(node, dest)
+                assert set(fractions) <= neighbors
+                if fractions:
+                    assert all(f >= 0.0 for f in fractions.values())
+                    assert sum(fractions.values()) == pytest.approx(1.0)
+        assert result.records, f"{name} produced no epochs"
+        assert policy.route_updates >= 1
+
+    def test_loop_free_policies_survive_a_failover_window(self, name, cairn):
+        cls = available_policies()[name]
+        if not cls.loop_free:
+            pytest.skip(f"{name} makes no loop-freedom claim")
+        a, b = pick_failure_link(cairn.topo)
+        scenario = with_failures(cairn, {(a, b): [(10.0, 20.0)]})
+        policy, result = _run(scenario, _config(name))
+        # The run survived the down *and* up edges of the window; the
+        # final tables must be loop-free for every destination.
+        for dest, by_node in policy.routing().items():
+            assert_loop_free(by_node, dest)
+        checks_before = policy.audit_checks
+        policy.audit_loop_free()
+        assert policy.audit_checks > checks_before
