@@ -392,6 +392,33 @@ def policy_zoo(
     return result
 
 
+def policy_zoo_cell(
+    policy: str,
+    network: str = "cairn",
+    *,
+    duration: float = DURATION,
+    warmup: float = WARMUP,
+) -> dict:
+    """One (policy, network) cell of :func:`policy_zoo`, as plain data.
+
+    The fleet's zoo campaign runs the same operating point one pair per
+    worker; returning a flat JSON-serializable dict (instead of a
+    :class:`FigureResult`) lets shard results merge without pickling
+    figure objects.
+    """
+    scenario = _zoo_scenario(network)
+    outcome = run(
+        scenario, _zoo_config(policy, duration=duration, warmup=warmup)
+    )
+    return {
+        "policy": policy,
+        "network": network,
+        "avg_ms": ms(outcome.mean_average_delay()),
+        "max_util": outcome.peak_utilization(),
+        "flow_delays_ms": outcome.mean_flow_delays_ms(),
+    }
+
+
 def render_policy_delay_table(
     results: dict[str, FigureResult]
 ) -> str:

@@ -17,6 +17,9 @@ Usage::
     python -m repro loss-sweep --rates 0 0.05 0.1 0.2
     python -m repro fuzz -n 100 --seed 0 --out-dir fuzz-artifacts
     python -m repro replay fuzz-artifacts/fuzz-case-17.json
+    python -m repro fleet fuzz --cases 1000 --workers 4 --out fleet-out
+    python -m repro fleet sweep --workers 4 --md sweep.md
+    python -m repro fleet zoo --workers 4 --topo all
 
 Equivalent to the ``benchmarks/`` suite but without pytest — handy for
 one-off runs and for piping tables elsewhere.
@@ -100,6 +103,38 @@ def render(result: FigureResult) -> str:
     )
     parts.append(f"metrics: {metrics}")
     return "\n".join(parts)
+
+
+def _add_fleet_common(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every ``repro fleet`` verb."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="W",
+        help="worker processes / shards (default 4)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default="fleet-out",
+        help=(
+            "output directory: plan.json, shard journals, replay "
+            "artifacts, report.json (default fleet-out)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="per-cell wall-clock budget in seconds (default 120)",
+    )
+    parser.add_argument(
+        "--inline",
+        action="store_true",
+        help="run every shard in this process (debugging; same report)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -420,6 +455,160 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for failure replay artifacts "
         "(default fuzz-artifacts)",
     )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help=(
+            "parallel experiment fleet: sharded campaigns across worker "
+            "processes, merged into one deterministic report"
+        ),
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    ffuzz = fleet_sub.add_parser(
+        "fuzz",
+        help=(
+            "sharded fuzz campaign across the policy zoo; failures are "
+            "minimized into replay artifacts"
+        ),
+    )
+    ffuzz.add_argument(
+        "--cases",
+        type=int,
+        default=200,
+        metavar="N",
+        help="total cells: seeds interleaved across policies (default 200)",
+    )
+    ffuzz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="seed of the first case (default 0)",
+    )
+    ffuzz.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=(
+            "policies to fuzz (default: mp + every dynamic zoo policy; "
+            "'mp' runs the real protocol, others the policy lifecycle)"
+        ),
+    )
+    ffuzz.add_argument(
+        "--raw",
+        action="store_true",
+        help=(
+            "drop the reliable-transport shim on protocol cases "
+            "(failures then expected: the paper assumes reliable "
+            "delivery)"
+        ),
+    )
+    ffuzz.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="keep failing cases as generated (skip schedule shrinking)",
+    )
+    _add_fleet_common(ffuzz)
+
+    fsweep = fleet_sub.add_parser(
+        "sweep",
+        help=(
+            "eta x Tl x loss heat-map grid on one evaluation network "
+            "(protocol mode; loss runs over reliable transport)"
+        ),
+    )
+    fsweep.add_argument(
+        "--etas",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="E",
+        help="AH damping steps (default 0.3 0.6 1.0)",
+    )
+    fsweep.add_argument(
+        "--tls",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="TL",
+        help="long-term intervals, Ts = Tl/5 (default 10 20 40)",
+    )
+    fsweep.add_argument(
+        "--losses",
+        type=float,
+        nargs="+",
+        default=None,
+        metavar="P",
+        help="control-plane loss rates (default 0 0.1 0.2)",
+    )
+    fsweep.add_argument(
+        "--network",
+        choices=["cairn", "net1"],
+        default="cairn",
+        help="evaluation network (default cairn)",
+    )
+    fsweep.add_argument(
+        "--duration",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="simulated seconds per cell (default 120)",
+    )
+    fsweep.add_argument(
+        "--warmup",
+        type=float,
+        default=40.0,
+        metavar="S",
+        help="warmup cut-off per cell (default 40)",
+    )
+    fsweep.add_argument(
+        "--md",
+        metavar="PATH",
+        default=None,
+        help="write the markdown heat-map tables to this file",
+    )
+    _add_fleet_common(fsweep)
+
+    fzoo = fleet_sub.add_parser(
+        "zoo",
+        help="policy x network comparison matrix, one cell per pair",
+    )
+    fzoo.add_argument(
+        "--policy",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="policy to include (repeatable; default: whole registry)",
+    )
+    fzoo.add_argument(
+        "--topo",
+        choices=["cairn", "net1", "all"],
+        default="all",
+        help="evaluation topologies (default all)",
+    )
+    fzoo.add_argument(
+        "--duration",
+        type=float,
+        default=200.0,
+        metavar="S",
+        help="simulated seconds per cell (default 200)",
+    )
+    fzoo.add_argument(
+        "--warmup",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="warmup cut-off per cell (default 60)",
+    )
+    fzoo.add_argument(
+        "--md",
+        metavar="PATH",
+        default=None,
+        help="write the markdown policy table to this file",
+    )
+    _add_fleet_common(fzoo)
 
     replay = sub.add_parser(
         "replay",
@@ -843,6 +1032,71 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def _run_fleet(args: argparse.Namespace) -> int:
+    import os
+
+    from repro import fleet
+
+    if args.fleet_command == "fuzz":
+        policies = (
+            tuple(args.policies) if args.policies else fleet.FUZZ_POLICIES
+        )
+        plan = fleet.fuzz_plan(
+            args.cases,
+            seed=args.seed,
+            policies=policies,
+            reliable=not args.raw,
+            shards=args.workers,
+            minimize=not args.no_minimize,
+        )
+    elif args.fleet_command == "sweep":
+        from repro.fleet.plan import SWEEP_ETAS, SWEEP_LOSSES, SWEEP_TLS
+
+        plan = fleet.sweep_plan(
+            etas=tuple(args.etas) if args.etas else SWEEP_ETAS,
+            tls=tuple(args.tls) if args.tls else SWEEP_TLS,
+            losses=tuple(args.losses) if args.losses else SWEEP_LOSSES,
+            network=args.network,
+            duration=args.duration,
+            warmup=args.warmup,
+            shards=args.workers,
+        )
+    elif args.fleet_command == "zoo":
+        networks = (
+            ("cairn", "net1") if args.topo == "all" else (args.topo,)
+        )
+        plan = fleet.zoo_plan(
+            policies=tuple(args.policy) if args.policy else (),
+            networks=networks,
+            duration=args.duration,
+            warmup=args.warmup,
+            shards=args.workers,
+        )
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown fleet verb {args.fleet_command!r}")
+
+    report = fleet.run_fleet(
+        plan, out_dir=args.out, timeout=args.timeout, inline=args.inline
+    )
+    if args.fleet_command == "fuzz":
+        print(fleet.render_fuzz_summary(report))
+    elif args.fleet_command == "sweep":
+        table = fleet.render_sweep_tables(report)
+        print(table)
+        if args.md:
+            with open(args.md, "w") as fh:
+                fh.write(table + "\n")
+    else:
+        table = fleet.render_zoo_table(report)
+        print(table)
+        if args.md:
+            with open(args.md, "w") as fh:
+                fh.write(table + "\n")
+    print(f"report: {os.path.join(args.out, 'report.json')}")
+    clean = set(report["statuses"]) <= {"pass"}
+    return 0 if clean else 1
+
+
 def _run_replay(args: argparse.Namespace) -> int:
     from repro.testing import replay as run_replay
 
@@ -1038,6 +1292,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "fuzz":
         return _run_fuzz(args)
+
+    if args.command == "fleet":
+        return _run_fleet(args)
 
     if args.command == "replay":
         return _run_replay(args)

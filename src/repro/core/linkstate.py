@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import os
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass, field
 
@@ -51,7 +52,45 @@ class LinkEntry:
         return f"{sign}({self.head}->{self.tail}:{self.cost:.4g})"
 
 
-_sequence = itertools.count(1)
+class _LSUSequence:
+    """The process-wide LSU sequence, resettable and fork-safe.
+
+    ``seq`` exists for traces, causal tags and debugging only (PDA
+    validates link information by distance to the head node, never by
+    sequence number), but the causal tracker keys in-flight message
+    tags by it, so reproducibility demands that a run's sequence stream
+    be a function of the run alone: a fleet worker resets the counter
+    before each cell (:func:`reset_lsu_sequence`), and a fork starts the
+    child at 1 automatically (``os.register_at_fork`` below), so any
+    cell replayed standalone sees byte-identical sequence numbers.
+    """
+
+    __slots__ = ("_count",)
+
+    def __init__(self) -> None:
+        self._count = itertools.count(1)
+
+    def __call__(self) -> int:
+        return next(self._count)
+
+    def reset(self) -> None:
+        self._count = itertools.count(1)
+
+
+_sequence = _LSUSequence()
+
+
+def reset_lsu_sequence() -> None:
+    """Restart LSU sequence numbers at 1 (fleet cells, test isolation).
+
+    Safe whenever no driver is mid-run: routers never compare sequence
+    numbers, and the causal tag map is cleared at every quiescence.
+    """
+    _sequence.reset()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX
+    os.register_at_fork(after_in_child=reset_lsu_sequence)
 
 
 @dataclass(frozen=True)
@@ -77,7 +116,7 @@ class LSUMessage:
     sender: NodeId
     entries: tuple[LinkEntry, ...] = ()
     ack: bool = False
-    seq: int = field(default_factory=lambda: next(_sequence))
+    seq: int = field(default_factory=_sequence)
     snapshot: "FrozenTree | None" = field(
         default=None, compare=False, repr=False
     )

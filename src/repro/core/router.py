@@ -62,6 +62,9 @@ class MPRouting:
             Non-"lfi" rules are oracle mode only.
         damping: AH step damping (1.0 = the paper's heuristic).
         seed: delivery interleaving seed for protocol mode.
+        transport: control-plane channel for protocol mode (None = the
+            default :class:`~repro.core.transport.PerfectChannel`); lets
+            experiments run the exchange over a lossy wire.
         batch: "always" runs the vectorized IH/AH kernels, "never" the
             scalar ones, "auto" (default) switches to the vectorized
             path once the network has at least
@@ -83,6 +86,7 @@ class MPRouting:
         path_rule: str = "lfi",
         damping: float = 1.0,
         seed: int = 0,
+        transport=None,
         batch: str = "auto",
     ) -> None:
         if mode not in ("oracle", "protocol"):
@@ -110,8 +114,15 @@ class MPRouting:
         self._distance_tables: dict[NodeId, dict[NodeId, float]] = {}
         self._successors: dict[NodeId, dict[NodeId, list[NodeId]]] = {}
         self._driver: ProtocolDriver | None = None
+        if transport is not None and mode != "protocol":
+            raise RoutingError(
+                "a custom transport needs mode='protocol' (oracle mode "
+                "exchanges no messages)"
+            )
         if mode == "protocol":
-            self._driver = ProtocolDriver(topo, MPDARouter, seed=seed)
+            self._driver = ProtocolDriver(
+                topo, MPDARouter, seed=seed, transport=transport
+            )
         self.route_updates = 0
         self.allocation_updates = 0
 

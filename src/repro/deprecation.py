@@ -1,0 +1,44 @@
+"""Process-safe warn-once registry for deprecated entry points.
+
+The deprecated runner shims announce themselves once rather than once
+per call (sweeps invoke them hundreds of times).  "Once" used to mean a
+module-level boolean, which breaks in two ways the experiment fleet
+exposed:
+
+- a forked worker inherits the parent's ``True`` and never warns, even
+  though it is a brand-new process whose logs never carried the notice;
+- two fleet cells executed sequentially in one worker share the flag,
+  so whether a cell warns depends on which cells ran before it — state
+  leaking between supposedly independent cells.
+
+This registry keys the flags by ``os.getpid()`` (a fork starts fresh
+automatically) and exposes :func:`reset` so the fleet worker can give
+every cell the exact per-process behavior it would see standalone.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+#: (pid, key) pairs that have already warned in this process.
+_warned: set[tuple[int, str]] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> bool:
+    """Emit ``message`` as a DeprecationWarning once per process.
+
+    Returns True when the warning was actually issued (the first call
+    for ``key`` in this process since the last :func:`reset`).
+    """
+    entry = (os.getpid(), key)
+    if entry in _warned:
+        return False
+    _warned.add(entry)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset() -> None:
+    """Forget every warn-once flag (fleet cells, test isolation)."""
+    _warned.clear()

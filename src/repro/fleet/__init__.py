@@ -1,0 +1,50 @@
+"""repro.fleet — the parallel experiment fleet.
+
+A :class:`~repro.fleet.plan.FleetPlan` turns a campaign (a seeded fuzz
+grid, an eta x Tl x loss sweep, a policy-zoo matrix) into an ordered
+tuple of self-contained cells with stable round-robin shard assignment;
+:func:`~repro.fleet.orchestrator.run_fleet` executes the shards in
+worker processes (per-cell timeouts, journal-based crash capture,
+per-cell process-state reset) and merges the journals into one
+deterministic report — byte-identical across worker counts and
+completion orders.  The ``repro fleet fuzz|sweep|zoo`` CLI fronts it.
+"""
+
+from repro.fleet.merge import (
+    collect_shards,
+    merge_report,
+    render_fuzz_summary,
+    render_sweep_tables,
+    render_zoo_table,
+    write_report,
+)
+from repro.fleet.orchestrator import run_fleet
+from repro.fleet.plan import (
+    FUZZ_POLICIES,
+    Cell,
+    FleetPlan,
+    fuzz_plan,
+    sweep_plan,
+    zoo_plan,
+)
+from repro.fleet.worker import execute_cell, reset_cell_state, run_cell, run_shard
+
+__all__ = [
+    "FUZZ_POLICIES",
+    "Cell",
+    "FleetPlan",
+    "collect_shards",
+    "execute_cell",
+    "fuzz_plan",
+    "merge_report",
+    "render_fuzz_summary",
+    "render_sweep_tables",
+    "render_zoo_table",
+    "reset_cell_state",
+    "run_cell",
+    "run_fleet",
+    "run_shard",
+    "sweep_plan",
+    "write_report",
+    "zoo_plan",
+]

@@ -1,0 +1,108 @@
+"""The fleet orchestrator: spawn shards, watch them, merge the answer.
+
+One worker process per shard (``fork`` start method: the plan rides in
+by inheritance, and the repository's ``os.register_at_fork`` hooks give
+every child a fresh LSU sequence).  The parent is a watchdog, not a
+scheduler — cell-to-shard assignment was fixed by the plan, so there is
+no work queue to coordinate, no result ordering to get wrong, and a
+dead worker loses only its own shard's remaining cells (reported
+``crashed`` / ``unrun``, never silently dropped).
+
+The merged report is written next to the shard journals and is byte-
+identical across worker counts (see :mod:`repro.fleet.merge`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import multiprocessing
+import os
+import time
+
+from repro.fleet.merge import collect_shards, merge_report, write_report
+from repro.fleet.plan import FleetPlan
+from repro.fleet.worker import run_shard
+
+#: Grace period (s) past the worst-case per-cell budget before the
+#: watchdog terminates a worker that SIGALRM could not unwedge.
+WATCHDOG_GRACE = 30.0
+
+
+def plan_path(out_dir: str) -> str:
+    return os.path.join(out_dir, "plan.json")
+
+
+def report_path(out_dir: str) -> str:
+    return os.path.join(out_dir, "report.json")
+
+
+def _watchdog_deadline(
+    plan: FleetPlan, timeout: float | None
+) -> float | None:
+    """Worst-case wall-clock for one shard, or None (wait forever)."""
+    if timeout is None:
+        return None
+    cells_per_shard = math.ceil(len(plan.cells) / plan.shards)
+    return timeout * cells_per_shard + WATCHDOG_GRACE
+
+
+def run_fleet(
+    plan: FleetPlan,
+    *,
+    out_dir: str,
+    timeout: float | None = None,
+    inline: bool = False,
+) -> dict:
+    """Execute a plan and return (and persist) the merged report.
+
+    ``inline=True`` runs every shard sequentially in this process —
+    the same journals, the same merge — for debugging and for tests
+    that must not fork.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    with open(plan_path(out_dir), "w") as fh:
+        json.dump(plan.as_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    if inline:
+        for shard_index in range(plan.shards):
+            run_shard(plan, shard_index, out_dir, timeout=timeout)
+    else:
+        _run_sharded(plan, out_dir, timeout)
+
+    records = collect_shards(out_dir, plan.shards)
+    report = merge_report(plan, records)
+    write_report(report_path(out_dir), report)
+    return report
+
+
+def _run_sharded(
+    plan: FleetPlan, out_dir: str, timeout: float | None
+) -> None:
+    context = multiprocessing.get_context("fork")
+    workers = [
+        context.Process(
+            target=run_shard,
+            args=(plan, shard_index, out_dir),
+            kwargs={"timeout": timeout},
+            name=f"fleet-shard-{shard_index}",
+        )
+        for shard_index in range(plan.shards)
+    ]
+    for worker in workers:
+        worker.start()
+    deadline = _watchdog_deadline(plan, timeout)
+    expiry = None if deadline is None else time.monotonic() + deadline
+    for worker in workers:
+        remaining = (
+            None if expiry is None else max(0.0, expiry - time.monotonic())
+        )
+        worker.join(remaining)
+        if worker.is_alive():
+            # SIGALRM could not unwedge this shard (cell stuck outside
+            # the interpreter); kill it — its journal attributes the
+            # loss to the running cell, the merge reports the rest of
+            # the shard as unrun.
+            worker.terminate()
+            worker.join()

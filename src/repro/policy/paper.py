@@ -22,6 +22,7 @@ from collections.abc import Mapping
 
 from repro import obs
 from repro.core.router import MPRouting
+from repro.core.transport import FaultyChannel, ReliableTransport
 from repro.exceptions import ConfigError
 from repro.graph.shortest_paths import CostMap
 from repro.graph.topology import NodeId
@@ -38,8 +39,22 @@ class MPFamilyPolicy(RoutingPolicy):
     path_rule = "lfi"
     loop_free = True
 
-    def __init__(self, *, successor_limit: int | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        successor_limit: int | None = None,
+        loss: float = 0.0,
+        transport_seed: int = 7,
+    ) -> None:
         self._successor_limit = successor_limit
+        #: Control-plane loss rate for protocol mode: the MPDA exchange
+        #: runs over ReliableTransport(FaultyChannel(loss)) — the
+        #: paper's delivery model enforced over a lossy wire, costing
+        #: retransmissions, not correctness.  Configured through
+        #: ``policy_params={"loss": ...}`` (JSON-serializable, so sweep
+        #: cells pickle cleanly).
+        self._loss = loss
+        self._transport_seed = transport_seed
         self._mpr: MPRouting | None = None
 
     # -- lifecycle ------------------------------------------------------
@@ -52,6 +67,17 @@ class MPFamilyPolicy(RoutingPolicy):
             else config.successor_limit
         )
         mode = self._effective_mode()
+        transport = None
+        if self._loss > 0.0:
+            if mode != "protocol":
+                raise ConfigError(
+                    f"policy {self.name!r}: control-plane loss needs the "
+                    "real message exchange (protocol mode); oracle mode "
+                    "exchanges no messages"
+                )
+            transport = ReliableTransport(
+                FaultyChannel(seed=self._transport_seed, loss=self._loss)
+            )
         self._mpr = MPRouting(
             scenario.topo,
             self.destinations,
@@ -60,6 +86,7 @@ class MPFamilyPolicy(RoutingPolicy):
             path_rule=self.path_rule,
             damping=config.damping,
             seed=config.seed,
+            transport=transport,
         )
         self.handles_link_events = mode == "protocol"
 

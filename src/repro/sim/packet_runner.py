@@ -11,29 +11,25 @@ links mid-run (the old runner silently ignored ``links_down_at``).
 
 from __future__ import annotations
 
-import warnings
-
+from repro.deprecation import warn_once
 from repro.sim.control import PacketRunConfig, run
 from repro.sim.results import RunResult
 from repro.sim.scenario import Scenario
 
 __all__ = ["PacketRunConfig", "run_packet_level"]
 
-#: Deprecation is announced once per process, not once per call.
-_warned = False
 
-
+# Deprecation is announced once per process, not once per call; the
+# pid-keyed registry keeps forked fleet workers and sequential fleet
+# cells independent (see repro.deprecation).
 def _warn_once() -> None:
-    global _warned
-    if not _warned:
-        _warned = True
-        warnings.warn(
-            "run_packet_level is deprecated; call repro.sim.control.run "
-            "(the data plane follows the config type, the algorithm the "
-            "config's policy name)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
+    warn_once(
+        "sim.packet_runner.run_packet_level",
+        "run_packet_level is deprecated; call repro.sim.control.run "
+        "(the data plane follows the config type, the algorithm the "
+        "config's policy name)",
+        stacklevel=4,
+    )
 
 
 def run_packet_level(

@@ -10,9 +10,8 @@ Gallager's optimum is computed once on the stationary traffic.
 
 from __future__ import annotations
 
-import warnings
-
 from repro import obs
+from repro.deprecation import warn_once
 from repro.fluid.delay import DelayModel
 from repro.fluid.evaluator import evaluate
 from repro.gallager.opt import GallagerResult, optimize
@@ -22,22 +21,18 @@ from repro.sim.scenario import Scenario
 
 __all__ = ["QuasiStaticConfig", "run_quasi_static", "run_opt"]
 
-#: Deprecation is announced once per process, not once per call — sweeps
-#: invoke the shim hundreds of times and the warning would drown output.
-_warned = False
-
-
+# Deprecation is announced once per process, not once per call — sweeps
+# invoke the shim hundreds of times and the warning would drown output.
+# The pid-keyed registry in repro.deprecation keeps forked fleet workers
+# honest (a fresh process warns again) and resettable per fleet cell.
 def _warn_once() -> None:
-    global _warned
-    if not _warned:
-        _warned = True
-        warnings.warn(
-            "run_quasi_static is deprecated; call repro.sim.control.run "
-            "(the data plane follows the config type, the algorithm the "
-            "config's policy name)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
+    warn_once(
+        "sim.runner.run_quasi_static",
+        "run_quasi_static is deprecated; call repro.sim.control.run "
+        "(the data plane follows the config type, the algorithm the "
+        "config's policy name)",
+        stacklevel=4,
+    )
 
 
 def run_quasi_static(

@@ -14,11 +14,14 @@ from repro.testing.fuzz import (
     FuzzReport,
     ReplayResult,
     check_case,
+    examine_case,
     fuzz,
     generate_case,
     load_artifact,
+    minimize_case,
     replay,
     run_case,
+    run_policy_case,
     write_artifact,
 )
 
@@ -28,10 +31,13 @@ __all__ = [
     "FuzzReport",
     "ReplayResult",
     "check_case",
+    "examine_case",
     "fuzz",
     "generate_case",
     "load_artifact",
+    "minimize_case",
     "replay",
     "run_case",
+    "run_policy_case",
     "write_artifact",
 ]

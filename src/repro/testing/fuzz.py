@@ -37,16 +37,25 @@ from repro import obs
 from repro.core.driver import ProtocolDriver
 from repro.core.mpda import MPDARouter
 from repro.core.transport import FaultyChannel, ReliableTransport, Transport
-from repro.exceptions import ReproError
+from repro.exceptions import AllocationError, ReproError
+from repro.fluid.flows import Flow, TrafficMatrix
 from repro.graph.generators import random_connected
 from repro.graph.topologies import cairn, net1
 from repro.graph.topology import Topology
+from repro.policy import create_policy
+from repro.sim.control import QuasiStaticConfig
+from repro.sim.scenario import Scenario
 
 #: v2: failure records embed ``causal_slice`` — the minimal causal
 #: chain (ancestor events of the violating delivery) that produced the
 #: rejected state.  v1 artifacts (no slice) still load and replay.
-ARTIFACT_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+#: v3: cases carry a ``policy`` name — ``"mp"`` runs the protocol
+#: driver exactly as before; any other registered routing policy runs
+#: the same schedule through the policy lifecycle with the Theorem-3
+#: audit after every step (the fleet's zoo-wide campaigns).  Earlier
+#: versions load as ``policy="mp"``.
+ARTIFACT_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 
 #: Event schedule ops (JSON-serializable lists, op first).
 OPS = ("fail_link", "restore_link", "set_cost", "partition", "pump")
@@ -99,6 +108,10 @@ class FuzzCase:
     schedule: tuple[tuple, ...]  # (op, *args) events
     driver_seed: int = 0
     check_invariants: bool = True
+    #: "mp" = the real MPDA exchange through the protocol driver; any
+    #: other registered policy name runs the schedule through the
+    #: routing-policy lifecycle instead (see :func:`run_policy_case`).
+    policy: str = "mp"
 
     def as_dict(self) -> dict:
         return {
@@ -108,6 +121,7 @@ class FuzzCase:
             "schedule": [list(event) for event in self.schedule],
             "driver_seed": self.driver_seed,
             "check_invariants": self.check_invariants,
+            "policy": self.policy,
         }
 
     @classmethod
@@ -119,6 +133,7 @@ class FuzzCase:
             schedule=tuple(tuple(event) for event in doc["schedule"]),
             driver_seed=doc["driver_seed"],
             check_invariants=doc["check_invariants"],
+            policy=doc.get("policy", "mp"),
         )
 
 
@@ -150,12 +165,19 @@ def _generate_profile(rng: random.Random, reliable: bool) -> FaultProfile:
     )
 
 
-def generate_case(seed: int, *, reliable: bool = True) -> FuzzCase:
+def generate_case(
+    seed: int, *, reliable: bool = True, policy: str = "mp"
+) -> FuzzCase:
     """A deterministic adversarial case from an integer seed.
 
     The schedule is generated against a stateful model of which duplex
     links are up, so every event is valid when executed in order
     (failures only on up links, restores only on down links).
+
+    ``policy`` does not consume any randomness: the same seed yields the
+    identical topology, schedule and fault profile for every policy, so
+    zoo-wide campaigns compare algorithms on the *same* adversarial
+    inputs.
     """
     rng = random.Random(seed)
     if rng.random() < 0.15:
@@ -210,6 +232,7 @@ def generate_case(seed: int, *, reliable: bool = True) -> FuzzCase:
         profile=_generate_profile(rng, reliable),
         schedule=tuple(schedule),
         driver_seed=rng.randrange(2**16),
+        policy=policy,
     )
 
 
@@ -273,26 +296,300 @@ def run_case(case: FuzzCase) -> dict:
     }
 
 
-def check_case(case: FuzzCase) -> dict | None:
-    """Run a case; the failure record, or None when it passed clean.
+# ----------------------------------------------------------------------
+# policy-lifecycle cases (the zoo beyond the protocol driver)
+# ----------------------------------------------------------------------
+def _duplex(a, b) -> tuple:
+    """The duplex pair of a directed link, in canonical order."""
+    return tuple(sorted((a, b), key=repr))
 
-    Runs under a causal-tracing observation (no tracer, no auditor —
-    delivery counts and schedules are unchanged), so a violation's
-    record embeds its *minimal causal slice*: the ancestor chain of the
-    delivery being processed when the check fired.  The slice is pure
-    deterministic data (event ids, links, Lamport clocks, delivered
-    counts), normalized through JSON so replays compare verbatim.
+
+def _policy_scenario(topo: Topology) -> Scenario:
+    """A scenario demanding every node as a destination.
+
+    Policies size their tables to the *active* destinations, so the
+    audit gets the strongest coverage when every node carries demand.
     """
+    nodes = sorted(topo.nodes, key=repr)
+    flows = [
+        Flow(nodes[0] if node != nodes[0] else nodes[1], node, 10.0)
+        for node in nodes
+    ]
+    return Scenario(name="fuzz", topo=topo, traffic=TrafficMatrix(flows))
+
+
+def _audit_policy(policy, topo: Topology, up: set, destinations) -> None:
+    """The per-event obligations every policy owes the data plane.
+
+    ``audit_loop_free`` checks the Theorem-3 obligation of ``loop_free``
+    policies; the fraction audit checks Property 1's contract for all of
+    them — fractions are a distribution over *live* physical neighbors
+    (an empty mapping declares the destination unreachable).
+    """
+    policy.audit_loop_free()
+    neighbors: dict = {node: set() for node in topo.nodes}
+    for a, b in up:
+        neighbors[a].add(b)
+        neighbors[b].add(a)
+    for dest in destinations:
+        for node in topo.nodes:
+            if node == dest:
+                continue
+            fractions = policy.fractions(node, dest)
+            if not fractions:
+                continue
+            dead = sorted(set(fractions) - neighbors[node], key=repr)
+            if dead:
+                raise AllocationError(
+                    f"policy {policy.name!r} splits {node!r}->{dest!r} "
+                    f"over non-neighbors (or downed links): {dead!r}"
+                )
+            worst = min(fractions.values())
+            if worst < -1e-9:
+                raise AllocationError(
+                    f"policy {policy.name!r} has a negative fraction "
+                    f"{worst!r} at {node!r}->{dest!r}"
+                )
+            total = sum(fractions.values())
+            if abs(total - 1.0) > 1e-6:
+                raise AllocationError(
+                    f"policy {policy.name!r} fractions at {node!r}->"
+                    f"{dest!r} sum to {total!r}, not 1"
+                )
+
+
+def run_policy_case(case: FuzzCase) -> dict:
+    """Drive a zoo policy's lifecycle through the case's schedule.
+
+    The analogue of :func:`run_case` for policies without a protocol
+    backend: the same generated schedule is replayed through the
+    :class:`~repro.policy.base.RoutingPolicy` lifecycle — failures and
+    restores as link events (or filtered long-term costs, matching the
+    controller's treatment of ``handles_link_events=False``), cost
+    changes as ``Tl`` updates, pumps and partition holds as ``Ts``
+    ticks — with :func:`_audit_policy` machine-checked after every
+    event.  Raises a :class:`ReproError` on any violation.
+    """
+    if case.policy == "mp":
+        raise ValueError(
+            "policy 'mp' cases run the real protocol (run_case)"
+        )
+    topo = build_topology(case.topology)
+    base_costs = dict(topo.idle_marginal_costs())
+    scenario = _policy_scenario(topo)
+    config = QuasiStaticConfig(
+        tl=8.0,
+        ts=2.0,
+        duration=16.0,
+        warmup=4.0,
+        policy=case.policy,
+        seed=case.driver_seed,
+        damping=0.5,
+    )
+    policy = create_policy(case.policy, **config.policy_params)
+    policy.initialize(scenario, config)
+    destinations = scenario.mean_traffic().destinations()
+
+    costs = dict(base_costs)
+    up = {_duplex(head, tail) for (head, tail) in costs}
+
+    def live_costs() -> dict:
+        return {
+            link_id: cost
+            for link_id, cost in costs.items()
+            if _duplex(*link_id) in up
+        }
+
+    def link_event(event, a, b, cost_ab=None, cost_ba=None) -> None:
+        if policy.handles_link_events:
+            policy.on_link_event(event, a, b, cost_ab, cost_ba)
+        else:
+            policy.on_costs(live_costs())
+
+    policy.on_costs(live_costs())
+    _audit_policy(policy, topo, up, destinations)
+    for event in case.schedule:
+        op, *args = event
+        if op == "fail_link":
+            a, b = args
+            up.discard(_duplex(a, b))
+            link_event("down", a, b)
+        elif op == "restore_link":
+            a, b = args
+            up.add(_duplex(a, b))
+            link_event("up", a, b, base_costs[(a, b)], base_costs[(b, a)])
+        elif op == "set_cost":
+            head, tail, cost = args
+            costs[(head, tail)] = cost
+            policy.on_costs(live_costs())
+        elif op in ("partition", "pump"):
+            # No transport under a policy case: both ops become short-
+            # timescale ticks (the network keeps measuring regardless).
+            policy.on_short_costs(live_costs())
+        else:
+            raise ValueError(f"unknown schedule op {op!r}")
+        _audit_policy(policy, topo, up, destinations)
+    return {
+        "events": len(case.schedule),
+        "route_updates": policy.route_updates,
+        "allocation_updates": policy.allocation_updates,
+        "audit_checks": policy.audit_checks,
+    }
+
+
+# ----------------------------------------------------------------------
+# verdicts
+# ----------------------------------------------------------------------
+def examine_case(case: FuzzCase) -> dict:
+    """Run a case to a structured verdict (the fleet worker's unit).
+
+    Returns ``{"status": "pass", "metrics": {...}}`` on a clean run or
+    ``{"status": "violation", "failure": {...}}`` otherwise; both arms
+    are plain JSON-serializable data, deterministic for a given case.
+
+    Protocol (``policy="mp"``) cases run under a causal-tracing
+    observation (no tracer, no auditor — delivery counts and schedules
+    are unchanged), so a violation's record embeds its *minimal causal
+    slice*: the ancestor chain of the delivery being processed when the
+    check fired.  The slice is pure deterministic data (event ids,
+    links, Lamport clocks, delivered counts), normalized through JSON
+    so replays compare verbatim.  Policy-lifecycle cases have no
+    message exchange, hence no slice.
+    """
+    if case.policy != "mp":
+        try:
+            metrics = run_policy_case(case)
+        except ReproError as error:
+            return {
+                "status": "violation",
+                "failure": {
+                    "type": type(error).__name__,
+                    "message": str(error),
+                },
+            }
+        return {"status": "pass", "metrics": metrics}
     with obs.observe(causal=True) as ob:
         try:
-            run_case(case)
+            metrics = run_case(case)
         except ReproError as error:
             failure = {"type": type(error).__name__, "message": str(error)}
             failure["causal_slice"] = json.loads(
                 json.dumps(ob.causal.failure_slice(), default=repr)
             )
-            return failure
-    return None
+            return {"status": "violation", "failure": failure}
+    return {"status": "pass", "metrics": metrics}
+
+
+def check_case(case: FuzzCase) -> dict | None:
+    """Run a case; the failure record, or None when it passed clean."""
+    verdict = examine_case(case)
+    return verdict["failure"] if verdict["status"] == "violation" else None
+
+
+# ----------------------------------------------------------------------
+# minimization
+# ----------------------------------------------------------------------
+def _schedule_valid(topo_spec: dict, schedule: tuple) -> bool:
+    """Whether every event stays executable after removals.
+
+    Dropping an event can orphan a later one (a restore of a link that
+    is now up, a cost change on a link that is now down); such
+    candidates would fail for bookkeeping reasons, not the bug under
+    minimization, so the shrinker skips them.
+    """
+    topo = build_topology(topo_spec)
+    up = {_duplex(*ln.link_id) for ln in topo.links()}
+    down: set = set()
+    for event in schedule:
+        op, *args = event
+        if op == "fail_link":
+            pair = _duplex(args[0], args[1])
+            if pair not in up:
+                return False
+            up.remove(pair)
+            down.add(pair)
+        elif op == "restore_link":
+            pair = _duplex(args[0], args[1])
+            if pair not in down:
+                return False
+            down.remove(pair)
+            up.add(pair)
+        elif op == "set_cost":
+            if _duplex(args[0], args[1]) not in up:
+                return False
+    return True
+
+
+#: Fault-profile knobs tried (in order) during minimization, with the
+#: benign value each is driven toward.
+_BENIGN_PROFILE = (
+    ("dup", 0.0),
+    ("reorder", 0.0),
+    ("delay", 0),
+    ("jitter", 1),
+    ("loss", 0.0),
+)
+
+
+def minimize_case(
+    case: FuzzCase, *, budget: int = 64
+) -> tuple[FuzzCase, dict]:
+    """Greedily shrink a failing case, preserving its failure *type*.
+
+    Two passes under one re-execution budget: drop schedule events one
+    at a time (restarting the scan after every successful removal, and
+    skipping removals that orphan later events), then drive fault-
+    profile knobs to their benign values.  Each candidate is re-run in
+    full, so the result still fails with the same exception type —
+    usually with a much shorter schedule and a quieter channel.
+
+    Returns the minimized case together with its observed failure
+    record (which is what the replay artifact must store: messages and
+    causal slices legitimately differ from the original's).
+    """
+    observed = check_case(case)
+    if observed is None:
+        raise ValueError("minimize_case needs a failing case")
+    current, current_failure = case, observed
+    trials = 0
+
+    def attempt(candidate: FuzzCase) -> dict | None:
+        nonlocal trials
+        trials += 1
+        got = check_case(candidate)
+        if got is not None and got["type"] == current_failure["type"]:
+            return got
+        return None
+
+    changed = True
+    while changed and trials < budget:
+        changed = False
+        for index in range(len(current.schedule)):
+            shorter = (
+                current.schedule[:index] + current.schedule[index + 1:]
+            )
+            if not _schedule_valid(current.topology, shorter):
+                continue
+            got = attempt(replace(current, schedule=shorter))
+            if got is not None:
+                current = replace(current, schedule=shorter)
+                current_failure = got
+                changed = True
+                break
+            if trials >= budget:
+                break
+    for knob, benign in _BENIGN_PROFILE:
+        if trials >= budget:
+            break
+        if getattr(current.profile, knob) == benign:
+            continue
+        candidate = replace(
+            current, profile=replace(current.profile, **{knob: benign})
+        )
+        got = attempt(candidate)
+        if got is not None:
+            current, current_failure = candidate, got
+    return current, current_failure
 
 
 # ----------------------------------------------------------------------
@@ -399,6 +696,7 @@ def fuzz(
     *,
     seed: int = 0,
     reliable: bool = True,
+    policy: str = "mp",
     out_dir: str = "fuzz-artifacts",
     mutate=None,
 ) -> FuzzReport:
@@ -411,7 +709,7 @@ def fuzz(
     report = FuzzReport()
     for index in range(iterations):
         case_seed = seed + index
-        case = generate_case(case_seed, reliable=reliable)
+        case = generate_case(case_seed, reliable=reliable, policy=policy)
         if mutate is not None:
             case = mutate(case)
         failure = check_case(case)
@@ -419,7 +717,12 @@ def fuzz(
         if failure is None:
             continue
         os.makedirs(out_dir, exist_ok=True)
-        artifact = os.path.join(out_dir, f"fuzz-case-{case_seed}.json")
+        stem = (
+            f"fuzz-case-{case_seed}"
+            if case.policy == "mp"
+            else f"fuzz-case-{case.policy}-{case_seed}"
+        )
+        artifact = os.path.join(out_dir, f"{stem}.json")
         write_artifact(artifact, case, failure)
         report.failures.append({"seed": case_seed, **failure})
         report.artifacts.append(artifact)

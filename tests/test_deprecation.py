@@ -3,7 +3,10 @@
 ``run_quasi_static`` / ``run_packet_level`` survive as deprecated
 wrappers over :func:`repro.sim.control.run`; the warning must fire on
 the first call and never again (sweeps call the shims hundreds of
-times).  The module flag is reset around each test so the suite is
+times).  The flags live in the pid-keyed registry of
+:mod:`repro.deprecation`, so a forked fleet worker warns afresh (it is
+a new process) and the fleet's per-cell reset restores standalone
+behavior; the registry is reset around each test so the suite is
 order-independent even when other tests exercised the shims first.
 """
 
@@ -13,6 +16,7 @@ import warnings
 
 import pytest
 
+from repro import deprecation
 from repro.fluid.flows import Flow, TrafficMatrix
 from repro.sim import packet_runner, runner
 from repro.sim.control import PacketRunConfig, QuasiStaticConfig
@@ -28,6 +32,13 @@ def diamond_scenario(diamond):
     )
 
 
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    deprecation.reset()
+    yield
+    deprecation.reset()
+
+
 def _collect(func):
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
@@ -35,10 +46,7 @@ def _collect(func):
     return [w for w in caught if w.category is DeprecationWarning]
 
 
-def test_run_quasi_static_warns_once_per_process(
-    diamond_scenario, monkeypatch
-):
-    monkeypatch.setattr(runner, "_warned", False)
+def test_run_quasi_static_warns_once_per_process(diamond_scenario):
     config = QuasiStaticConfig(tl=4.0, ts=2.0, duration=8.0, warmup=2.0)
 
     def call():
@@ -52,10 +60,7 @@ def test_run_quasi_static_warns_once_per_process(
     assert _collect(call) == []
 
 
-def test_run_packet_level_warns_once_per_process(
-    diamond_scenario, monkeypatch
-):
-    monkeypatch.setattr(packet_runner, "_warned", False)
+def test_run_packet_level_warns_once_per_process(diamond_scenario):
     config = PacketRunConfig(tl=4.0, ts=2.0, duration=8.0, seed=0)
 
     def call():
@@ -67,12 +72,36 @@ def test_run_packet_level_warns_once_per_process(
     assert _collect(call) == []
 
 
-def test_shims_still_deliver_results(diamond_scenario, monkeypatch):
+def test_registry_is_keyed_by_pid(monkeypatch):
+    """A forked worker (new pid) warns again despite inherited state.
+
+    The old module-level boolean was copied by ``fork`` as ``True``,
+    silencing the child forever; pid keying makes the child's first
+    call warn exactly as a standalone process would.
+    """
+    assert deprecation.warn_once("k", "legacy k is deprecated") is True
+    assert deprecation.warn_once("k", "legacy k is deprecated") is False
+    parent = deprecation.os.getpid()
+    monkeypatch.setattr(deprecation.os, "getpid", lambda: parent + 1)
+    assert deprecation.warn_once("k", "legacy k is deprecated") is True
+    assert deprecation.warn_once("k", "legacy k is deprecated") is False
+
+
+def test_reset_restores_standalone_behavior():
+    """The fleet's per-cell reset makes the next call warn again."""
+    assert deprecation.warn_once("cell", "legacy cell path") is True
+    assert deprecation.warn_once("cell", "legacy cell path") is False
+    deprecation.reset()
+    assert deprecation.warn_once("cell", "legacy cell path") is True
+
+
+def test_shims_still_deliver_results(diamond_scenario):
     """Deprecated does not mean broken: the shims route through the
     registry-backed controller and return ordinary results."""
-    monkeypatch.setattr(runner, "_warned", True)
     config = QuasiStaticConfig(tl=4.0, ts=2.0, duration=8.0, warmup=2.0)
-    result = runner.run_quasi_static(diamond_scenario, config)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        result = runner.run_quasi_static(diamond_scenario, config)
     assert result.plane == "fluid"
     assert config.policy == "mp-oracle"
     assert result.mean_average_delay() > 0.0

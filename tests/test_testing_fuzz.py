@@ -5,19 +5,36 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.exceptions import AllocationError
 from repro.testing import fuzz as run_fuzz
 from repro.testing.fuzz import (
     ARTIFACT_VERSION,
     FaultProfile,
     FuzzCase,
+    _audit_policy,
+    _schedule_valid,
     build_topology,
     check_case,
+    examine_case,
     generate_case,
     load_artifact,
+    minimize_case,
     replay,
     run_case,
+    run_policy_case,
     unreliable,
     write_artifact,
+)
+
+#: The zoo members with a dynamic lifecycle (everything fuzzable except
+#: the protocol itself; "opt" is stationary by design and not fuzzed).
+ZOO_POLICIES = (
+    "mp-oracle",
+    "sp",
+    "ecmp",
+    "ecmp-hop",
+    "ecmp-k",
+    "backpressure-lr",
 )
 
 
@@ -151,6 +168,130 @@ class TestFuzzLoop:
             assert replay(artifact).reproduced
         rendered = report.render()
         assert "repro replay" in rendered
+
+
+class TestPolicyCases:
+    def test_policy_does_not_consume_randomness(self):
+        """Same seed -> same adversarial inputs for every policy."""
+        base = generate_case(4)
+        zoo = generate_case(4, policy="ecmp-k")
+        assert zoo.policy == "ecmp-k"
+        assert zoo.schedule == base.schedule
+        assert zoo.topology == base.topology
+        assert zoo.profile == base.profile
+
+    def test_policy_field_survives_json(self):
+        case = generate_case(2, policy="backpressure-lr")
+        clone = FuzzCase.from_dict(json.loads(json.dumps(case.as_dict())))
+        assert clone.policy == "backpressure-lr"
+
+    def test_pre_v3_documents_load_as_mp(self):
+        doc = generate_case(1).as_dict()
+        del doc["policy"]  # v1/v2 artifacts have no policy field
+        assert FuzzCase.from_dict(doc).policy == "mp"
+
+    @pytest.mark.parametrize("policy", ZOO_POLICIES)
+    def test_zoo_policies_survive_the_schedule(self, policy):
+        verdict = examine_case(generate_case(1, policy=policy))
+        assert verdict["status"] == "pass", verdict
+        assert verdict["metrics"]["events"] >= 2
+        assert verdict["metrics"]["route_updates"] >= 1
+
+    def test_run_policy_case_rejects_mp(self):
+        with pytest.raises(ValueError):
+            run_policy_case(generate_case(0))
+
+    def test_audit_rejects_split_to_non_neighbor(self):
+        topo = build_topology({"kind": "named", "name": "cairn"})
+        up = {
+            tuple(sorted(ln.link_id, key=repr)) for ln in topo.links()
+        }
+        nodes = topo.nodes
+
+        class Bogus:
+            name = "bogus"
+            loop_free = False
+
+            def audit_loop_free(self):
+                pass
+
+            def fractions(self, node, dest):
+                # Every node claims a successor that is not a neighbor.
+                return {dest: 1.0} if dest not in topo.neighbors(node) else {}
+
+        with pytest.raises(AllocationError):
+            _audit_policy(Bogus(), topo, up, nodes)
+
+    def test_audit_rejects_fractions_not_summing_to_one(self):
+        topo = build_topology({"kind": "named", "name": "cairn"})
+        up = {
+            tuple(sorted(ln.link_id, key=repr)) for ln in topo.links()
+        }
+
+        class Half:
+            name = "half"
+            loop_free = False
+
+            def audit_loop_free(self):
+                pass
+
+            def fractions(self, node, dest):
+                neighbors = topo.neighbors(node)
+                return {neighbors[0]: 0.5}
+
+        with pytest.raises(AllocationError):
+            _audit_policy(Half(), topo, up, topo.nodes)
+
+
+class TestVerdictsAndMinimization:
+    def test_examine_pass_has_metrics(self):
+        verdict = examine_case(generate_case(0))
+        assert verdict["status"] == "pass"
+        assert verdict["metrics"]["delivered"] > 0
+
+    def test_examine_violation_matches_check_case(self):
+        case = generate_case(100, reliable=False)
+        verdict = examine_case(case)
+        failure = check_case(case)
+        if failure is None:
+            assert verdict["status"] == "pass"
+        else:
+            assert verdict["status"] == "violation"
+            assert verdict["failure"] == failure
+
+    def _failing_case(self):
+        for seed in range(100, 120):
+            case = generate_case(seed, reliable=False)
+            failure = check_case(case)
+            if failure is not None:
+                return case, failure
+        pytest.fail("no raw-channel failure found in seeds 100..119")
+
+    def test_minimize_preserves_failure_type(self, tmp_path):
+        case, failure = self._failing_case()
+        small, observed = minimize_case(case)
+        assert observed["type"] == failure["type"]
+        assert len(small.schedule) <= len(case.schedule)
+        # The minimized pair is a valid replay artifact.
+        path = str(tmp_path / "min.json")
+        write_artifact(path, small, observed)
+        assert replay(path).reproduced
+
+    def test_minimize_requires_a_failing_case(self):
+        with pytest.raises(ValueError):
+            minimize_case(generate_case(0))
+
+    def test_schedule_validity_after_removals(self):
+        case = generate_case(0)
+        assert _schedule_valid(case.topology, case.schedule)
+        # A restore with its fail removed is invalid.
+        topo = case.topology
+        pair = None
+        for ln in build_topology(topo).links():
+            pair = tuple(sorted(ln.link_id, key=repr))
+            break
+        orphaned = (("restore_link", pair[0], pair[1]),)
+        assert not _schedule_valid(topo, orphaned)
 
 
 class TestProfile:
